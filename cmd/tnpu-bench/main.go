@@ -1,0 +1,242 @@
+// Command tnpu-bench regenerates the paper's full evaluation: every table
+// and figure of Sec. V, printed as aligned rows. Expect a couple of
+// minutes for the complete sweep (14 models x 2 NPU classes x 3 schemes x
+// 1-3 NPUs).
+//
+// Usage:
+//
+//	tnpu-bench                # everything
+//	tnpu-bench -models df,res # restrict the workload set
+//	tnpu-bench -only fig14    # one artifact
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tnpu"
+	"tnpu/internal/exp"
+)
+
+func main() {
+	modelsFlag := flag.String("models", "", "comma-separated workload subset (default: all 14)")
+	onlyFlag := flag.String("only", "", "single artifact: table3|fig4|fig5|fig14|fig15|fig16|fig17|storage|hwcost|sweeps")
+	jsonFlag := flag.Bool("json", false, "emit the whole evaluation as JSON (for plotting scripts)")
+	mdFlag := flag.String("md", "", "also write a Markdown report to this file")
+	flag.Parse()
+
+	var models []string
+	if *modelsFlag != "" {
+		models = strings.Split(*modelsFlag, ",")
+	}
+	r := tnpu.NewPaperRunner(models...)
+
+	if *jsonFlag {
+		if err := emitJSON(r); err != nil {
+			fmt.Fprintln(os.Stderr, "tnpu-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *mdFlag != "" {
+		if err := emitMarkdown(r, *mdFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "tnpu-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *mdFlag)
+		return
+	}
+
+	type artifact struct {
+		key string
+		run func() error
+	}
+	figure := func(gen func() (exp.Figure, error)) func() error {
+		return func() error {
+			f, err := gen()
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.String())
+			return nil
+		}
+	}
+	artifacts := []artifact{
+		{"table3", func() error { fmt.Println(r.Table3()); return nil }},
+		{"fig4", figure(r.Figure4)},
+		{"fig5", figure(r.Figure5)},
+		{"fig14", figure(r.Figure14)},
+		{"fig15", figure(r.Figure15)},
+		{"fig16", figure(r.Figure16)},
+		{"fig17", figure(r.Figure17)},
+		{"storage", func() error {
+			per, avg, max, err := r.VersionStorage(exp.Small)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Sec IV-D: version-table storage (Small NPU): avg=%.0fB max=%dB (paper: ~1.3KB avg, 7.5KB max)\n", avg, max)
+			for _, short := range r.Models {
+				fmt.Printf("  %-5s %dB\n", short, per[short])
+			}
+			fmt.Println()
+			return nil
+		}},
+		{"sweeps", func() error {
+			for _, gen := range []func(string) (exp.Sweep, error){exp.BandwidthSweep, exp.SPMSweep, exp.LatencySweep} {
+				sw, err := gen("sent")
+				if err != nil {
+					return err
+				}
+				fmt.Println(sw.String())
+			}
+			return nil
+		}},
+		{"hwcost", func() error {
+			s := r.HardwareCost()
+			fmt.Println("Sec V-E hardware overhead:", s.String())
+			for _, c := range s.PerComponent {
+				fmt.Printf("  %dx %-28s %.5f mm^2  %5.2f mW  (%s)\n",
+					c.Count, c.Name, c.TotalArea(), c.TotalPower(), c.SizeNote)
+			}
+			fmt.Println()
+			return nil
+		}},
+	}
+
+	ran := false
+	for _, a := range artifacts {
+		if *onlyFlag != "" && a.key != *onlyFlag {
+			continue
+		}
+		ran = true
+		if err := a.run(); err != nil {
+			fmt.Fprintln(os.Stderr, "tnpu-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "tnpu-bench: unknown artifact %q\n", *onlyFlag)
+		os.Exit(2)
+	}
+
+	if *onlyFlag == "" {
+		// Headline summary (the numbers the paper's abstract quotes).
+		for _, class := range exp.Classes() {
+			i1, err := r.Improvement(class, 1)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tnpu-bench:", err)
+				os.Exit(1)
+			}
+			i3, _ := r.Improvement(class, 3)
+			fmt.Printf("Headline (%s NPU): TNPU improves the tree-based baseline by %.1f%% (1 NPU), %.1f%% (3 NPUs)\n",
+				class, 100*i1, 100*i3)
+		}
+		fmt.Println("Paper reference: 10.0%/13.3% (small), 7.5%/8.7% (large)")
+	}
+}
+
+// jsonSeries is one plottable line.
+type jsonSeries struct {
+	Class  string    `json:"class"`
+	Label  string    `json:"label"`
+	Models []string  `json:"models"`
+	Values []float64 `json:"values"`
+	Mean   float64   `json:"mean"`
+}
+
+// jsonDoc is the machine-readable evaluation.
+type jsonDoc struct {
+	Figures        map[string][]jsonSeries `json:"figures"`
+	VersionStorage map[string]int          `json:"version_storage_bytes"`
+	Hardware       struct {
+		AreaMM2     float64 `json:"area_mm2"`
+		PowerMW     float64 `json:"power_mw"`
+		SoCFraction float64 `json:"soc_fraction"`
+	} `json:"hardware"`
+	Improvements map[string]float64 `json:"improvements"`
+}
+
+func emitJSON(r *exp.Runner) error {
+	doc := jsonDoc{Figures: map[string][]jsonSeries{}, Improvements: map[string]float64{}}
+	figs := map[string]func() (exp.Figure, error){
+		"fig4": r.Figure4, "fig5": r.Figure5, "fig14": r.Figure14,
+		"fig15": r.Figure15, "fig16": r.Figure16, "fig17": r.Figure17,
+	}
+	for key, gen := range figs {
+		f, err := gen()
+		if err != nil {
+			return err
+		}
+		for _, s := range f.Series {
+			doc.Figures[key] = append(doc.Figures[key], jsonSeries{
+				Class: s.Class.String(), Label: s.Label,
+				Models: s.Models, Values: s.Values, Mean: s.Mean(),
+			})
+		}
+	}
+	per, _, _, err := r.VersionStorage(exp.Small)
+	if err != nil {
+		return err
+	}
+	doc.VersionStorage = per
+	hw := r.HardwareCost()
+	doc.Hardware.AreaMM2, doc.Hardware.PowerMW, doc.Hardware.SoCFraction = hw.AreaMM2, hw.PowerMW, hw.SoCFraction
+	for _, class := range exp.Classes() {
+		for _, n := range []int{1, 3} {
+			imp, err := r.Improvement(class, n)
+			if err != nil {
+				return err
+			}
+			doc.Improvements[fmt.Sprintf("%s-%dnpu", class, n)] = imp
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// emitMarkdown writes a self-contained report regenerating the paper's
+// evaluation in Markdown, for dropping into docs or CI artifacts.
+func emitMarkdown(r *exp.Runner, path string) error {
+	var b strings.Builder
+	b.WriteString("# TNPU reproduction report\n\n")
+	b.WriteString("Generated by `tnpu-bench -md`. All values normalized to the unsecure run.\n\n")
+	b.WriteString("## Table III\n\n```\n" + r.Table3() + "```\n\n")
+	figs := []struct {
+		name string
+		gen  func() (exp.Figure, error)
+	}{
+		{"Figure 4", r.Figure4}, {"Figure 5", r.Figure5}, {"Figure 14", r.Figure14},
+		{"Figure 15", r.Figure15}, {"Figure 16", r.Figure16}, {"Figure 17", r.Figure17},
+	}
+	for _, f := range figs {
+		fig, err := f.gen()
+		if err != nil {
+			return err
+		}
+		b.WriteString("## " + f.name + "\n\n```\n" + fig.String() + "```\n\n")
+	}
+	per, avg, max, err := r.VersionStorage(exp.Small)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(&b, "## Sec IV-D version storage\n\navg %.0fB, max %dB (paper: ~1.3KB avg / 7.5KB max)\n\n", avg, max)
+	for _, short := range r.Models {
+		fmt.Fprintf(&b, "- %s: %dB\n", short, per[short])
+	}
+	fmt.Fprintf(&b, "\n## Sec V-E hardware\n\n%s\n\n", r.HardwareCost().String())
+	b.WriteString("## Headline\n\n")
+	for _, class := range exp.Classes() {
+		i1, err := r.Improvement(class, 1)
+		if err != nil {
+			return err
+		}
+		i3, _ := r.Improvement(class, 3)
+		fmt.Fprintf(&b, "- %s NPU: TNPU improves the baseline by %.1f%% (1 NPU), %.1f%% (3 NPUs)\n", class, 100*i1, 100*i3)
+	}
+	b.WriteString("- paper reference: 10.0%/13.3% (small), 7.5%/8.7% (large)\n")
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

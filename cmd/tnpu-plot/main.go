@@ -1,0 +1,85 @@
+// Command tnpu-plot regenerates the paper's figures and writes them as
+// SVG bar charts, one file per figure, for visual comparison with the
+// paper's plots.
+//
+// Usage:
+//
+//	tnpu-plot -out ./figures            # all figures, full workload set
+//	tnpu-plot -out ./figures -models df,res,sent
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tnpu"
+	"tnpu/internal/exp"
+	"tnpu/internal/plot"
+)
+
+func main() {
+	outFlag := flag.String("out", "figures", "output directory for SVG files")
+	modelsFlag := flag.String("models", "", "comma-separated workload subset")
+	flag.Parse()
+
+	var models []string
+	if *modelsFlag != "" {
+		models = strings.Split(*modelsFlag, ",")
+	}
+	r := tnpu.NewPaperRunner(models...)
+	if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+		fatal(err)
+	}
+
+	figs := []struct {
+		name    string
+		gen     func() (exp.Figure, error)
+		refLine float64
+		ylabel  string
+	}{
+		{"figure4", r.Figure4, 1, "normalized execution time"},
+		{"figure5", r.Figure5, 0, "counter cache miss rate"},
+		{"figure14", r.Figure14, 1, "normalized execution time"},
+		{"figure15", r.Figure15, 1, "normalized memory traffic"},
+		{"figure16", r.Figure16, 1, "normalized execution time"},
+		{"figure17", r.Figure17, 1, "normalized end-to-end latency"},
+	}
+	for _, f := range figs {
+		fig, err := f.gen()
+		if err != nil {
+			fatal(err)
+		}
+		// One chart per NPU class keeps the figures readable.
+		for _, class := range []string{"small", "large"} {
+			chart := plot.Chart{
+				Title:      fmt.Sprintf("%s — %s NPU (%s)", fig.ID, class, fig.Title),
+				Categories: fig.Series[0].Models,
+				RefLine:    f.refLine,
+				YLabel:     f.ylabel,
+			}
+			for _, s := range fig.Series {
+				if s.Class.String() != class {
+					continue
+				}
+				chart.Series = append(chart.Series, plot.Series{Label: s.Label, Values: s.Values})
+			}
+			svg, err := chart.SVG()
+			if err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*outFlag, fmt.Sprintf("%s-%s.svg", f.name, class))
+			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tnpu-plot:", err)
+	os.Exit(1)
+}

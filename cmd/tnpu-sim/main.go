@@ -1,0 +1,125 @@
+// Command tnpu-sim runs one workload on the TNPU simulator and prints the
+// execution summary for each protection scheme.
+//
+// Usage:
+//
+//	tnpu-sim -model res -npu small -npus 1
+//	tnpu-sim -model sent -npu large -npus 3 -e2e
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tnpu"
+	"tnpu/internal/exp"
+	"tnpu/internal/hwcost"
+)
+
+func main() {
+	modelFlag := flag.String("model", "res", "workload short name (see -list)")
+	npuFlag := flag.String("npu", "small", "NPU class: small (Exynos 990) or large (Ethos N77)")
+	npusFlag := flag.Int("npus", 1, "number of NPUs sharing the memory system (1-3)")
+	e2eFlag := flag.Bool("e2e", false, "run the end-to-end flow (init + inference + output)")
+	listFlag := flag.Bool("list", false, "list workloads and exit")
+	layersFlag := flag.Bool("layers", false, "print the per-layer breakdown across schemes")
+	flag.Parse()
+
+	if *listFlag {
+		fmt.Println("Table III workloads:")
+		for _, short := range tnpu.Models() {
+			info, _ := tnpu.Describe(short)
+			emb := ""
+			if info.HasEmbedding {
+				emb = " [embedding]"
+			}
+			fmt.Printf("  %-5s %-28s %6.1fMB (paper %5.1fMB), %d layers%s\n",
+				short, info.Name, info.FootprintMB, info.PaperFootprintMB, info.Layers, emb)
+		}
+		return
+	}
+
+	var class tnpu.Class
+	switch *npuFlag {
+	case "small":
+		class = tnpu.Small
+	case "large":
+		class = tnpu.Large
+	default:
+		fmt.Fprintf(os.Stderr, "tnpu-sim: unknown NPU class %q (want small|large)\n", *npuFlag)
+		os.Exit(2)
+	}
+
+	if *layersFlag {
+		class := tnpu.Small
+		if *npuFlag == "large" {
+			class = tnpu.Large
+		}
+		shares, err := exp.LayerBreakdown(*modelFlag, class)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s per-layer cycles on %s NPU:\n", *modelFlag, class)
+		fmt.Printf("%-16s %12s %12s %12s %8s\n", "layer", "unsecure", "baseline", "tnpu", "base-ovh")
+		for _, sh := range shares {
+			ovh := "-"
+			if sh.Unsecure > 0 {
+				ovh = fmt.Sprintf("%.2fx", float64(sh.Baseline)/float64(sh.Unsecure))
+			}
+			fmt.Printf("%-16s %12d %12d %12d %8s\n", sh.Layer, sh.Unsecure, sh.Baseline, sh.TNPU, ovh)
+		}
+		return
+	}
+
+	schemes := []tnpu.Scheme{tnpu.Unsecure, tnpu.Baseline, tnpu.TreeLess}
+	if *e2eFlag {
+		fmt.Printf("%s on %s NPU, end-to-end (Sec. V-D):\n", *modelFlag, class)
+		var ref uint64
+		for _, s := range schemes {
+			r, err := tnpu.SimulateEndToEnd(*modelFlag, class, s)
+			if err != nil {
+				fatal(err)
+			}
+			if s == tnpu.Unsecure {
+				ref = r.Cycles
+			}
+			fmt.Printf("  %-9s total=%12d cycles (%.3fms)  norm=%.3f  init=%d run=%d out=%d\n",
+				s, r.Cycles, r.Milliseconds, float64(r.Cycles)/float64(ref),
+				r.InitCycles, r.RunCycles, r.OutputCycles)
+		}
+		return
+	}
+
+	fmt.Printf("%s on %d x %s NPU:\n", *modelFlag, *npusFlag, class)
+	var ref uint64
+	for _, s := range schemes {
+		r, err := tnpu.SimulateMulti(*modelFlag, class, s, *npusFlag)
+		if err != nil {
+			fatal(err)
+		}
+		if s == tnpu.Unsecure {
+			ref = r.Cycles
+		}
+		fmt.Printf("  %-9s %12d cycles (%.3fms)  norm=%.3f  traffic=%dB (metadata %dB)",
+			s, r.Cycles, r.Milliseconds, float64(r.Cycles)/float64(ref),
+			r.TrafficBytes, r.MetadataBytes)
+		if s == tnpu.Baseline {
+			fmt.Printf("  ctr-miss=%.1f%%", 100*r.CounterMissRate)
+		}
+		if s == tnpu.TreeLess {
+			fmt.Printf("  vtable-peak=%dB", r.VersionTablePeakBytes)
+		}
+		freq := uint64(2_750_000_000)
+		if *npuFlag == "large" {
+			freq = 1_000_000_000
+		}
+		fmt.Printf("  energy=%.2fmJ", hwcost.InferenceEnergy(r.TrafficBytes, r.Cycles, freq, hwcost.Summarize(hwcost.TNPUEngine())))
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tnpu-sim:", err)
+	os.Exit(1)
+}

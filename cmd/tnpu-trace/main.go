@@ -1,0 +1,122 @@
+// Command tnpu-trace compiles a workload for an NPU configuration and
+// dumps the resulting instruction trace (Fig. 8-style mvin/mvout/compute
+// stream with version-number operands), plus the tensor map and version
+// table statistics.
+//
+// Usage:
+//
+//	tnpu-trace -model df -npu small -n 40
+//	tnpu-trace -model sent -npu small -layer 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tnpu/internal/compiler"
+	"tnpu/internal/model"
+	"tnpu/internal/npu"
+	"tnpu/internal/tracecheck"
+)
+
+func main() {
+	modelFlag := flag.String("model", "df", "workload short name")
+	npuFlag := flag.String("npu", "small", "NPU class: small or large")
+	nFlag := flag.Int("n", 50, "max instructions to print (0 = all)")
+	layerFlag := flag.Int("layer", -1, "print only this layer's instructions")
+	tensorsFlag := flag.Bool("tensors", false, "print the tensor map")
+	checkFlag := flag.Bool("check", false, "run the version-discipline linter on the trace")
+	saveFlag := flag.String("save", "", "serialize the compiled program to this file")
+	loadFlag := flag.String("load", "", "load a serialized program instead of compiling")
+	flag.Parse()
+
+	cfg := npu.SmallNPU()
+	if *npuFlag == "large" {
+		cfg = npu.LargeNPU()
+	}
+	var prog *compiler.Program
+	name := *modelFlag
+	if *loadFlag != "" {
+		f, err := os.Open(*loadFlag)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		prog, err = compiler.ReadProgram(f)
+		if err != nil {
+			fatal(err)
+		}
+		name = *loadFlag
+	} else {
+		m, err := model.ByShort(*modelFlag)
+		if err != nil {
+			fatal(err)
+		}
+		name = m.Name
+		prog, err = compiler.Compile(m, cfg.CompilerConfig())
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *saveFlag != "" {
+		f, err := os.Create(*saveFlag)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := prog.WriteTo(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("saved program to", *saveFlag)
+	}
+
+	s := prog.Trace.Summarize()
+	fmt.Printf("%s on %s NPU: %d instructions (%d mvin / %d mvout / %d compute), %d layers\n",
+		name, cfg.Name, len(prog.Trace.Instrs), s.MvIns, s.MvOuts, s.Computes, s.Layers)
+	fmt.Printf("traffic: in=%dB out=%dB, compute=%d cycles, memory top=%#x\n",
+		s.BytesIn, s.BytesOut, s.ComputeCycles, prog.MemoryTop)
+	if prog.Table != nil {
+		fmt.Printf("version table: peak %dB in the fully protected region\n", prog.Table.PeakStorageBytes())
+	}
+	if *checkFlag {
+		report := tracecheck.Check(prog)
+		fmt.Println(report.String())
+		for _, e := range report.Errors {
+			fmt.Println("  violation:", e)
+		}
+		if !report.Ok() {
+			os.Exit(1)
+		}
+	}
+	fmt.Println()
+
+	if *tensorsFlag {
+		fmt.Println("tensors:")
+		for _, t := range prog.Tensors {
+			fmt.Printf("  id=%-4d %-24s addr=%#010x bytes=%d\n", t.ID, t.Name, t.Addr, t.Bytes)
+		}
+		fmt.Println()
+	}
+
+	printed := 0
+	for i := range prog.Trace.Instrs {
+		in := &prog.Trace.Instrs[i]
+		if *layerFlag >= 0 && in.Layer != *layerFlag {
+			continue
+		}
+		fmt.Printf("%6d: %s\n", i, in.String())
+		printed++
+		if *nFlag > 0 && printed >= *nFlag {
+			fmt.Printf("... (%d more)\n", len(prog.Trace.Instrs)-i-1)
+			break
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tnpu-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+package tnpu_test
+
+import (
+	"fmt"
+
+	"tnpu"
+)
+
+// Simulate one workload under the tree-less scheme and inspect the
+// protection cost.
+func ExampleSimulate() {
+	report, err := tnpu.Simulate("df", tnpu.Small, tnpu.TreeLess)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(report.Model, report.Scheme, report.NPUs)
+	fmt.Println(report.Cycles > 0, report.MetadataBytes > 0)
+	// Output:
+	// df tnpu 1
+	// true true
+}
+
+// Compare the schemes the paper plots in Figure 14.
+func ExampleOverhead() {
+	base, _ := tnpu.Overhead("df", tnpu.Small, tnpu.Baseline, 1)
+	treeless, _ := tnpu.Overhead("df", tnpu.Small, tnpu.TreeLess, 1)
+	fmt.Println(treeless < base, base > 1)
+	// Output: true true
+}
+
+// Work with the functional protected memory: a replayed block is caught
+// by the version-keyed MAC.
+func ExampleNewSecureContext() {
+	ctx, err := tnpu.NewSecureContext(
+		[]byte("0123456789abcdef0123456789abcdef"),
+		[]byte("0123456789abcdef"))
+	if err != nil {
+		panic(err)
+	}
+	weights, _ := ctx.Alloc("weights", 128)
+	_ = ctx.WriteTensor(weights.ID, make([]byte, 128))
+
+	// A physical attacker snapshots and later replays the DRAM content.
+	ct, mac, _ := ctx.Memory().Snapshot(weights.Addr)
+	_ = ctx.WriteTensor(weights.ID, make([]byte, 128)) // legitimate update
+	ctx.Memory().Restore(weights.Addr, ct, mac)
+
+	_, err = ctx.ReadTensor(weights.ID)
+	fmt.Println(err != nil)
+	// Output: true
+}
+
+// Enumerate the Table III workload suite.
+func ExampleModels() {
+	models := tnpu.Models()
+	fmt.Println(len(models), models[0], models[len(models)-1])
+	// Output: 14 goo ncf
+}

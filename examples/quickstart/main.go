@@ -1,0 +1,50 @@
+// Quickstart: simulate one DNN inference (ResNet50, Table III) on the
+// Small NPU (Exynos 990-class, Table II) under the three memory-protection
+// schemes the paper compares, and print the Fig. 14-style normalized
+// execution times.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tnpu"
+)
+
+func main() {
+	const workload = "res"
+	info, err := tnpu.Describe(workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Workload: %s (%s), %.1fMB footprint, %d layers\n\n",
+		info.Name, workload, info.FootprintMB, info.Layers)
+
+	var unsecure uint64
+	for _, scheme := range []tnpu.Scheme{tnpu.Unsecure, tnpu.Baseline, tnpu.TreeLess} {
+		r, err := tnpu.Simulate(workload, tnpu.Small, scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if scheme == tnpu.Unsecure {
+			unsecure = r.Cycles
+		}
+		fmt.Printf("%-9s  %12d cycles  %.3f ms  normalized %.3f\n",
+			scheme, r.Cycles, r.Milliseconds, float64(r.Cycles)/float64(unsecure))
+		switch scheme {
+		case tnpu.Baseline:
+			fmt.Printf("           counter-cache miss rate %.1f%%, metadata traffic %d bytes\n",
+				100*r.CounterMissRate, r.MetadataBytes)
+		case tnpu.TreeLess:
+			fmt.Printf("           no counter tree; version table peaks at %d bytes in the enclave\n",
+				r.VersionTablePeakBytes)
+		}
+	}
+
+	base, _ := tnpu.Overhead(workload, tnpu.Small, tnpu.Baseline, 1)
+	tl, _ := tnpu.Overhead(workload, tnpu.Small, tnpu.TreeLess, 1)
+	fmt.Printf("\nTNPU's tree-less protection cuts the overhead from %.1f%% to %.1f%%\n",
+		100*(base-1), 100*(tl-1))
+}

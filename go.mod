@@ -1,0 +1,3 @@
+module tnpu
+
+go 1.22

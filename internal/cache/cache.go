@@ -1,0 +1,174 @@
+// Package cache implements a set-associative, write-back, LRU cache timing
+// model. It tracks tags only (no data payload): the simulator uses it for
+// the security-metadata caches — counter cache, hash cache, and MAC cache —
+// whose hit/miss behaviour drives the memory-protection overhead in TNPU.
+package cache
+
+import (
+	"fmt"
+
+	"tnpu/internal/stats"
+)
+
+// Cache is a tag-only set-associative cache with true-LRU replacement and
+// write-back, write-allocate policy.
+type Cache struct {
+	name      string
+	lineBytes uint64
+	sets      int
+	ways      int
+	lineShift uint
+	// lines[set][way]; way order is LRU order: index 0 is most recent.
+	lines [][]line
+	stats stats.CacheStats
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint64 // full line address (byte address >> lineShift)
+}
+
+// Result describes the outcome of a single cache access.
+type Result struct {
+	Hit bool
+	// Writeback is true when the allocation evicted a dirty line; the
+	// evicted line's byte address is in WritebackAddr.
+	Writeback     bool
+	WritebackAddr uint64
+}
+
+// New constructs a cache of sizeBytes capacity with the given line size and
+// associativity. sizeBytes must be a multiple of lineBytes*ways, and
+// lineBytes must be a power of two. The name is used in error messages only.
+func New(name string, sizeBytes, lineBytes, ways int) *Cache {
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		panic(fmt.Sprintf("cache %s: line size %d is not a power of two", name, lineBytes))
+	}
+	if ways <= 0 {
+		panic(fmt.Sprintf("cache %s: ways must be positive", name))
+	}
+	total := sizeBytes / lineBytes
+	if total == 0 || sizeBytes%lineBytes != 0 {
+		panic(fmt.Sprintf("cache %s: size %d not a positive multiple of line %d", name, sizeBytes, lineBytes))
+	}
+	if ways > total {
+		ways = total // fully associative when capacity is tiny
+	}
+	sets := total / ways
+	if sets*ways != total {
+		panic(fmt.Sprintf("cache %s: %d lines not divisible into %d ways", name, total, ways))
+	}
+	shift := uint(0)
+	for 1<<shift != lineBytes {
+		shift++
+	}
+	c := &Cache{
+		name:      name,
+		lineBytes: uint64(lineBytes),
+		sets:      sets,
+		ways:      ways,
+		lineShift: shift,
+		lines:     make([][]line, sets),
+	}
+	for i := range c.lines {
+		c.lines[i] = make([]line, 0, ways)
+	}
+	return c
+}
+
+// LineBytes returns the configured line size.
+func (c *Cache) LineBytes() uint64 { return c.lineBytes }
+
+// SizeBytes returns the total capacity.
+func (c *Cache) SizeBytes() int { return c.sets * c.ways * int(c.lineBytes) }
+
+// Access looks up the line containing byte address addr, allocating it on a
+// miss. write marks the line dirty. The returned Result reports whether the
+// access hit and whether a dirty victim must be written back.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	tag := addr >> c.lineShift
+	set := c.lines[tag%uint64(c.sets)]
+	c.stats.Lookups++
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			hit := set[i]
+			if write {
+				hit.dirty = true
+			}
+			// Move to front (most-recently-used).
+			copy(set[1:i+1], set[:i])
+			set[0] = hit
+			return Result{Hit: true}
+		}
+	}
+
+	c.stats.Misses++
+	res := Result{}
+	if len(set) == c.ways {
+		victim := set[len(set)-1]
+		c.stats.Evictions++
+		if victim.dirty {
+			c.stats.Writebacks++
+			res.Writeback = true
+			res.WritebackAddr = victim.tag << c.lineShift
+		}
+		set = set[:len(set)-1]
+	}
+	set = append(set, line{})
+	copy(set[1:], set[:len(set)-1])
+	set[0] = line{valid: true, dirty: write, tag: tag}
+	c.lines[tag%uint64(c.sets)] = set
+	return res
+}
+
+// Probe reports whether addr's line is resident without touching LRU state
+// or statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	tag := addr >> c.lineShift
+	for _, l := range c.lines[tag%uint64(c.sets)] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops addr's line if present, returning its byte address and
+// true when the dropped line was dirty (caller must write it back).
+func (c *Cache) Invalidate(addr uint64) (dirty bool) {
+	tag := addr >> c.lineShift
+	set := c.lines[tag%uint64(c.sets)]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			dirty = set[i].dirty
+			c.lines[tag%uint64(c.sets)] = append(set[:i], set[i+1:]...)
+			return dirty
+		}
+	}
+	return false
+}
+
+// Flush evicts every resident line and returns the byte addresses of all
+// dirty lines in deterministic set order. Statistics count the writebacks.
+func (c *Cache) Flush() []uint64 {
+	var dirty []uint64
+	for s := range c.lines {
+		for _, l := range c.lines[s] {
+			if l.valid && l.dirty {
+				dirty = append(dirty, l.tag<<c.lineShift)
+				c.stats.Writebacks++
+			}
+		}
+		c.lines[s] = c.lines[s][:0]
+	}
+	return dirty
+}
+
+// Stats exposes the accumulated counters.
+func (c *Cache) Stats() *stats.CacheStats { return &c.stats }
+
+// ResetStats zeroes the counters without disturbing cache contents, so a
+// warm-up phase can be excluded from measurement.
+func (c *Cache) ResetStats() { c.stats = stats.CacheStats{} }

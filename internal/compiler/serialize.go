@@ -1,0 +1,206 @@
+package compiler
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"tnpu/internal/isa"
+	"tnpu/internal/tensor"
+)
+
+// Binary program format: a compiled trace is a stable artifact worth
+// shipping between tools (compile once with tnpu-trace -save, replay in
+// external simulators or tests). The encoding is little-endian with a
+// magic/version header; strings are length-prefixed.
+
+const (
+	programMagic   = 0x54_4E_50_55 // "TNPU"
+	programVersion = 1
+)
+
+type countingWriter struct {
+	w *bufio.Writer
+	n int64
+}
+
+func (c *countingWriter) u8(v uint8) { c.w.WriteByte(v); c.n++ }
+func (c *countingWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	c.w.Write(b[:])
+	c.n += 4
+}
+func (c *countingWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	c.w.Write(b[:])
+	c.n += 8
+}
+func (c *countingWriter) str(s string) {
+	c.u32(uint32(len(s)))
+	c.w.WriteString(s)
+	c.n += int64(len(s))
+}
+
+// WriteTo serializes the program (trace, tensors, layer ranges). The
+// version table is not serialized: version numbers are already embedded
+// in the instructions; the table's peak-storage statistic is stored as a
+// scalar. Implements io.WriterTo.
+func (p *Program) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	c := &countingWriter{w: bw}
+	c.u32(programMagic)
+	c.u32(programVersion)
+	c.u64(p.MemoryTop)
+	peak := 0
+	if p.Table != nil {
+		peak = p.Table.PeakStorageBytes()
+	}
+	c.u64(uint64(peak))
+
+	c.u32(uint32(len(p.Tensors)))
+	for _, t := range p.Tensors {
+		c.u32(uint32(t.ID))
+		c.str(t.Name)
+		c.u64(t.Addr)
+		c.u64(t.Bytes)
+	}
+
+	c.u32(uint32(len(p.LayerFirst)))
+	for i := range p.LayerFirst {
+		c.u32(uint32(p.LayerFirst[i]))
+		c.u32(uint32(p.LayerLast[i]))
+	}
+
+	c.u32(uint32(len(p.Trace.Instrs)))
+	for i := range p.Trace.Instrs {
+		in := &p.Trace.Instrs[i]
+		c.u8(uint8(in.Op))
+		c.u32(uint32(in.Tensor))
+		c.u32(uint32(in.Tile))
+		c.u64(in.Version)
+		c.u64(in.Cycles)
+		c.u32(uint32(in.Layer))
+		c.u32(uint32(len(in.Segments)))
+		for _, s := range in.Segments {
+			c.u64(s.Addr)
+			c.u64(s.Bytes)
+		}
+		c.u32(uint32(len(in.Deps)))
+		for _, d := range in.Deps {
+			c.u32(uint32(d))
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return c.n, err
+	}
+	return c.n, nil
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *reader) read(b []byte) {
+	if r.err != nil {
+		return
+	}
+	_, r.err = io.ReadFull(r.r, b)
+}
+func (r *reader) u8() uint8 { var b [1]byte; r.read(b[:]); return b[0] }
+func (r *reader) u32() uint32 {
+	var b [4]byte
+	r.read(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+func (r *reader) u64() uint64 {
+	var b [8]byte
+	r.read(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+func (r *reader) str() string {
+	n := r.u32()
+	if r.err != nil || n > 1<<20 {
+		if r.err == nil {
+			r.err = fmt.Errorf("compiler: implausible string length %d", n)
+		}
+		return ""
+	}
+	b := make([]byte, n)
+	r.read(b)
+	return string(b)
+}
+
+// ReadProgram deserializes a program written by WriteTo. The returned
+// program has no Model or Table attached (its trace is self-contained);
+// Trace.Validate is run before returning.
+func ReadProgram(src io.Reader) (*Program, error) {
+	r := &reader{r: bufio.NewReader(src)}
+	if magic := r.u32(); r.err == nil && magic != programMagic {
+		return nil, fmt.Errorf("compiler: bad magic %#x", magic)
+	}
+	if v := r.u32(); r.err == nil && v != programVersion {
+		return nil, fmt.Errorf("compiler: unsupported program version %d", v)
+	}
+	p := &Program{Table: tensor.NewTable()}
+	p.MemoryTop = r.u64()
+	_ = r.u64() // peak storage statistic (informational)
+
+	nT := r.u32()
+	if r.err == nil && nT > 1<<20 {
+		return nil, fmt.Errorf("compiler: implausible tensor count %d", nT)
+	}
+	for i := uint32(0); i < nT && r.err == nil; i++ {
+		t := tensor.Tensor{ID: tensor.ID(r.u32()), Name: r.str(), Addr: r.u64(), Bytes: r.u64()}
+		p.Tensors = append(p.Tensors, t)
+	}
+
+	nL := r.u32()
+	if r.err == nil && nL > 1<<20 {
+		return nil, fmt.Errorf("compiler: implausible layer count %d", nL)
+	}
+	for i := uint32(0); i < nL && r.err == nil; i++ {
+		p.LayerFirst = append(p.LayerFirst, int32(r.u32()))
+		p.LayerLast = append(p.LayerLast, int32(r.u32()))
+	}
+
+	nI := r.u32()
+	if r.err == nil && nI > 1<<26 {
+		return nil, fmt.Errorf("compiler: implausible instruction count %d", nI)
+	}
+	for i := uint32(0); i < nI && r.err == nil; i++ {
+		in := isa.Instr{
+			Op:      isa.Op(r.u8()),
+			Tensor:  tensor.ID(r.u32()),
+			Tile:    int(r.u32()),
+			Version: r.u64(),
+			Cycles:  r.u64(),
+			Layer:   int(r.u32()),
+		}
+		nS := r.u32()
+		if r.err == nil && nS > 1<<22 {
+			return nil, fmt.Errorf("compiler: implausible segment count %d", nS)
+		}
+		for s := uint32(0); s < nS && r.err == nil; s++ {
+			in.Segments = append(in.Segments, isa.Segment{Addr: r.u64(), Bytes: r.u64()})
+		}
+		nD := r.u32()
+		if r.err == nil && nD > 1<<22 {
+			return nil, fmt.Errorf("compiler: implausible dep count %d", nD)
+		}
+		for d := uint32(0); d < nD && r.err == nil; d++ {
+			in.Deps = append(in.Deps, int32(r.u32()))
+		}
+		p.Trace.Instrs = append(p.Trace.Instrs, in)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("compiler: truncated program: %w", r.err)
+	}
+	if err := p.Trace.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: loaded program invalid: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tnpu/internal/compiler"
+	"tnpu/internal/dram"
+	"tnpu/internal/integrity"
+	"tnpu/internal/isa"
+)
+
+// BaselineTraceExecutor is the tree-based counterpart of TraceExecutor:
+// the same compiled trace executed against integrity.TreeMemory, where
+// freshness comes from the hardware counter tree instead of software
+// version numbers (the trace's version operands are simply ignored, as
+// the baseline hardware would). Running both executors over the same
+// models demonstrates that the two schemes are functionally equivalent in
+// what they protect — the paper's "same security level" claim — differing
+// only in who tracks freshness.
+type BaselineTraceExecutor struct {
+	prog *compiler.Program
+	mem  *integrity.TreeMemory
+	tag  map[uint64]uint64
+
+	BlocksWritten, BlocksVerified uint64
+}
+
+// NewBaselineTraceExecutor builds an executor over a tree-protected region
+// sized to the program.
+func NewBaselineTraceExecutor(prog *compiler.Program, encKey, macKey []byte) (*BaselineTraceExecutor, error) {
+	size := prog.MemoryTop
+	if size == 0 {
+		return nil, fmt.Errorf("core: empty program")
+	}
+	mem, err := integrity.NewTreeMemory(size, encKey, macKey)
+	if err != nil {
+		return nil, err
+	}
+	return &BaselineTraceExecutor{prog: prog, mem: mem, tag: make(map[uint64]uint64)}, nil
+}
+
+// Memory exposes the tree-protected memory (attack surface).
+func (x *BaselineTraceExecutor) Memory() *integrity.TreeMemory { return x.mem }
+
+// Init loads input and parameter tensors.
+func (x *BaselineTraceExecutor) Init() error {
+	for _, ten := range x.prog.Tensors {
+		if ten.Name != "input" && (len(ten.Name) < 2 || ten.Name[len(ten.Name)-2:] != ".w") {
+			continue
+		}
+		for blk := uint64(0); blk < ten.Blocks(); blk++ {
+			addr := ten.Addr + blk*dram.BlockBytes
+			if err := x.mem.WriteBlock(addr, basePayload(addr, 0)); err != nil {
+				return err
+			}
+			x.tag[addr] = 0
+			x.BlocksWritten++
+		}
+	}
+	return nil
+}
+
+// Run executes the whole trace.
+func (x *BaselineTraceExecutor) Run() error {
+	for i := range x.prog.Trace.Instrs {
+		in := &x.prog.Trace.Instrs[i]
+		switch in.Op {
+		case isa.OpMvOut:
+			writer := uint64(i) + 1
+			for _, seg := range in.Segments {
+				if err := blocksOf(seg, func(addr uint64) error {
+					if err := x.mem.WriteBlock(addr, basePayload(addr, writer)); err != nil {
+						return err
+					}
+					x.tag[addr] = writer
+					x.BlocksWritten++
+					return nil
+				}); err != nil {
+					return fmt.Errorf("instr %d: %w", i, err)
+				}
+			}
+		case isa.OpMvIn:
+			for _, seg := range in.Segments {
+				if err := blocksOf(seg, func(addr uint64) error {
+					data, err := x.mem.ReadBlock(addr)
+					if err != nil {
+						return err
+					}
+					if want := basePayload(addr, x.tag[addr]); string(data) != string(want) {
+						return fmt.Errorf("core: block %#x verified but content differs", addr)
+					}
+					x.BlocksVerified++
+					return nil
+				}); err != nil {
+					return fmt.Errorf("instr %d: %w", i, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// basePayload is the deterministic writer tag for the baseline executor
+// (distinct domain from the tree-less executor's payload).
+func basePayload(addr, writer uint64) []byte {
+	var b [dram.BlockBytes]byte
+	binary.LittleEndian.PutUint64(b[0:8], ^addr)
+	binary.LittleEndian.PutUint64(b[8:16], writer)
+	for i := 16; i < dram.BlockBytes; i++ {
+		b[i] = byte(addr>>5) ^ byte(writer*17+uint64(i))
+	}
+	return b[:]
+}

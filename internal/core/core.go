@@ -1,0 +1,205 @@
+// Package core is the functional TNPU runtime: it wires the paper's
+// mechanisms together over real bytes. A Context owns an NPU memory region
+// protected by the tree-less scheme (AES-XTS + versioned MACs, package
+// secmem), the software version table of Sec. IV-D (package tensor), and
+// the CPU-side tensor-access instructions of Sec. IV-C (ts_read_byte /
+// ts_write_byte / ts_read_block / ts_write_block with their 64-byte block
+// buffers). Every transfer is really encrypted, really MACed, and really
+// verified, so tampering, replay, and splicing are detected exactly where
+// the hardware would detect them.
+//
+// The cycle-accurate performance story lives in internal/npu and
+// internal/exp; this package is the correctness/security side.
+package core
+
+import (
+	"fmt"
+
+	"tnpu/internal/dram"
+	"tnpu/internal/secmem"
+	"tnpu/internal/tensor"
+)
+
+// Context is one trusted NPU context: a protected memory region, its
+// version table (held in the fully protected enclave region), and the
+// tensor allocator.
+type Context struct {
+	mem     *secmem.TreelessMemory
+	table   *tensor.Table
+	tensors map[tensor.ID]tensor.Tensor
+	byName  map[string]tensor.ID
+	nextID  tensor.ID
+	top     uint64
+}
+
+// NewContext creates a context keyed by the session keys the enclave
+// negotiated at NPU-context initialization (Sec. IV-E).
+func NewContext(xtsKey, macKey []byte) (*Context, error) {
+	mem, err := secmem.NewTreelessMemory(xtsKey, macKey)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{
+		mem:     mem,
+		table:   tensor.NewTable(),
+		tensors: make(map[tensor.ID]tensor.Tensor),
+		byName:  make(map[string]tensor.ID),
+	}, nil
+}
+
+// Memory exposes the raw protected memory — the physical-attack surface
+// used by security tests and the attacks example.
+func (c *Context) Memory() *secmem.TreelessMemory { return c.mem }
+
+// Table exposes the version table (read-only use expected).
+func (c *Context) Table() *tensor.Table { return c.table }
+
+// Alloc reserves a block-aligned tensor in the context's region.
+func (c *Context) Alloc(name string, bytes uint64) (tensor.Tensor, error) {
+	if bytes == 0 {
+		return tensor.Tensor{}, fmt.Errorf("core: empty tensor %q", name)
+	}
+	if _, dup := c.byName[name]; dup {
+		return tensor.Tensor{}, fmt.Errorf("core: duplicate tensor name %q", name)
+	}
+	t := tensor.Tensor{ID: c.nextID, Name: name, Addr: c.top, Bytes: bytes}
+	c.nextID++
+	c.top += (bytes + dram.BlockBytes - 1) &^ (dram.BlockBytes - 1)
+	c.tensors[t.ID] = t
+	c.byName[name] = t.ID
+	c.table.Register(t.ID)
+	return t, nil
+}
+
+// Lookup resolves a tensor by name.
+func (c *Context) Lookup(name string) (tensor.Tensor, bool) {
+	id, ok := c.byName[name]
+	if !ok {
+		return tensor.Tensor{}, false
+	}
+	return c.tensors[id], true
+}
+
+func (c *Context) get(id tensor.ID) (tensor.Tensor, error) {
+	t, ok := c.tensors[id]
+	if !ok {
+		return tensor.Tensor{}, fmt.Errorf("core: unknown tensor id %d", id)
+	}
+	return t, nil
+}
+
+// WriteTensor writes a whole tensor as one versioned unit: the software
+// bumps the tensor's version number and every covered block is encrypted
+// and MACed under it — the mvout / initialization path.
+func (c *Context) WriteTensor(id tensor.ID, data []byte) error {
+	t, err := c.get(id)
+	if err != nil {
+		return err
+	}
+	if uint64(len(data)) != t.Bytes {
+		return fmt.Errorf("core: tensor %s is %d bytes, got %d", t.Name, t.Bytes, len(data))
+	}
+	v := c.table.Bump(id)
+	c.mem.Write(t.Addr, data, v)
+	return nil
+}
+
+// ReadTensor fetches and verifies a whole tensor against its current
+// version — the mvin path. Stale, tampered, or relocated data surfaces as
+// secmem.ErrIntegrity.
+func (c *Context) ReadTensor(id tensor.ID) ([]byte, error) {
+	t, err := c.get(id)
+	if err != nil {
+		return nil, err
+	}
+	v := c.table.Version(id)
+	return c.mem.Read(t.Addr, int(t.Bytes), v)
+}
+
+// tileSpan returns the byte range of one of n equal block-aligned tiles.
+func tileSpan(t tensor.Tensor, tile, n int) (off, size uint64, err error) {
+	if n <= 0 || tile < 0 || tile >= n {
+		return 0, 0, fmt.Errorf("core: tile %d of %d invalid", tile, n)
+	}
+	blocks := t.Blocks()
+	lo := blocks * uint64(tile) / uint64(n) * dram.BlockBytes
+	hi := blocks * uint64(tile+1) / uint64(n) * dram.BlockBytes
+	if hi > t.Bytes {
+		hi = t.Bytes
+	}
+	if hi <= lo {
+		return 0, 0, fmt.Errorf("core: tensor %s too small for %d tiles", t.Name, n)
+	}
+	return lo, hi - lo, nil
+}
+
+// ExpandTiles splits the tensor's version entry for tiled updates (Fig. 9
+// step 1). Tiles are equal block-aligned spans.
+func (c *Context) ExpandTiles(id tensor.ID, tiles int) error {
+	if tiles > tensor.MaxTiles {
+		return fmt.Errorf("core: %d tiles exceeds the version-table layout (%d)", tiles, tensor.MaxTiles)
+	}
+	if _, err := c.get(id); err != nil {
+		return err
+	}
+	c.table.Expand(id, tiles)
+	return nil
+}
+
+// WriteTile writes one tile, bumping only that tile's version.
+func (c *Context) WriteTile(id tensor.ID, tile int, data []byte) error {
+	t, err := c.get(id)
+	if err != nil {
+		return err
+	}
+	n := c.table.Tiles(id)
+	if n == 0 {
+		return fmt.Errorf("core: tensor %s not tile-expanded", t.Name)
+	}
+	off, size, err := tileSpan(t, tile, n)
+	if err != nil {
+		return err
+	}
+	if uint64(len(data)) != size {
+		return fmt.Errorf("core: tile %d of %s is %d bytes, got %d", tile, t.Name, size, len(data))
+	}
+	v := c.table.BumpTile(id, tile)
+	c.mem.Write(t.Addr+off, data, v)
+	return nil
+}
+
+// ReadTile fetches one tile under its tile version.
+func (c *Context) ReadTile(id tensor.ID, tile int) ([]byte, error) {
+	t, err := c.get(id)
+	if err != nil {
+		return nil, err
+	}
+	n := c.table.Tiles(id)
+	if n == 0 {
+		return nil, fmt.Errorf("core: tensor %s not tile-expanded", t.Name)
+	}
+	off, size, err := tileSpan(t, tile, n)
+	if err != nil {
+		return nil, err
+	}
+	v := c.table.TileVersion(id, tile)
+	return c.mem.Read(t.Addr+off, int(size), v)
+}
+
+// MergeTiles collapses the tile versions after a completed layer (Fig. 9
+// step 9); it fails if the tiles were updated unevenly.
+func (c *Context) MergeTiles(id tensor.ID) error {
+	return c.table.Merge(id)
+}
+
+// Free drops a tensor whose lifetime ended, reclaiming its version entry.
+func (c *Context) Free(id tensor.ID) error {
+	t, err := c.get(id)
+	if err != nil {
+		return err
+	}
+	c.table.Drop(id)
+	delete(c.tensors, id)
+	delete(c.byName, t.Name)
+	return nil
+}

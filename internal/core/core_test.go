@@ -1,0 +1,367 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"tnpu/internal/secmem"
+	"tnpu/internal/tensor"
+)
+
+var (
+	xtsKey = []byte("0123456789abcdef0123456789abcdef")
+	macKey = []byte("fedcba9876543210")
+)
+
+func newCtx(t *testing.T) *Context {
+	t.Helper()
+	c, err := NewContext(xtsKey, macKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func fill(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed ^ byte(i*7)
+	}
+	return b
+}
+
+func TestAllocAndLookup(t *testing.T) {
+	c := newCtx(t)
+	a, err := c.Alloc("a", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Alloc("b", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Addr%64 != 0 || b.Addr%64 != 0 {
+		t.Error("tensors not block aligned")
+	}
+	if b.Addr < a.End() {
+		t.Error("tensors overlap")
+	}
+	if got, ok := c.Lookup("a"); !ok || got.ID != a.ID {
+		t.Error("lookup failed")
+	}
+	if _, err := c.Alloc("a", 10); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := c.Alloc("z", 0); err == nil {
+		t.Error("empty tensor accepted")
+	}
+}
+
+func TestWriteReadTensor(t *testing.T) {
+	c := newCtx(t)
+	ten, _ := c.Alloc("x", 300)
+	data := fill(300, 5)
+	if err := c.WriteTensor(ten.ID, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadTensor(ten.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	if err := c.WriteTensor(ten.ID, fill(10, 0)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestReplayDetectedThroughContext(t *testing.T) {
+	c := newCtx(t)
+	ten, _ := c.Alloc("x", 64)
+	c.WriteTensor(ten.ID, fill(64, 1))
+	ct, mac, _ := c.Memory().Snapshot(ten.Addr)
+	c.WriteTensor(ten.ID, fill(64, 2)) // version 2 now current
+	c.Memory().Restore(ten.Addr, ct, mac)
+	if _, err := c.ReadTensor(ten.ID); !errors.Is(err, secmem.ErrIntegrity) {
+		t.Fatalf("replayed tensor block undetected: %v", err)
+	}
+}
+
+func TestTileFlow(t *testing.T) {
+	c := newCtx(t)
+	ten, _ := c.Alloc("out", 256) // 4 blocks
+	c.WriteTensor(ten.ID, fill(256, 0))
+	if err := c.ExpandTiles(ten.ID, 4); err != nil {
+		t.Fatal(err)
+	}
+	for tile := 0; tile < 4; tile++ {
+		if err := c.WriteTile(ten.ID, tile, fill(64, byte(tile))); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.ReadTile(ten.ID, tile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, fill(64, byte(tile))) {
+			t.Fatalf("tile %d mismatch", tile)
+		}
+	}
+	if err := c.MergeTiles(ten.ID); err != nil {
+		t.Fatal(err)
+	}
+	// After the merge the whole tensor reads under one version.
+	whole, err := c.ReadTensor(ten.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(whole[64:128], fill(64, 1)) {
+		t.Fatal("merged tensor content wrong")
+	}
+}
+
+func TestUnevenTileMergeRejected(t *testing.T) {
+	c := newCtx(t)
+	ten, _ := c.Alloc("out", 128)
+	c.WriteTensor(ten.ID, fill(128, 0))
+	c.ExpandTiles(ten.ID, 2)
+	c.WriteTile(ten.ID, 0, fill(64, 1))
+	if err := c.MergeTiles(ten.ID); err == nil {
+		t.Fatal("merge with uneven tile updates accepted")
+	}
+}
+
+func TestStaleTileReplay(t *testing.T) {
+	// A tile-granular replay: attacker restores tile 1's old content
+	// after it was updated; the tile version catches it.
+	c := newCtx(t)
+	ten, _ := c.Alloc("out", 128)
+	c.WriteTensor(ten.ID, fill(128, 0))
+	c.ExpandTiles(ten.ID, 2)
+	c.WriteTile(ten.ID, 1, fill(64, 7))
+	ct, mac, _ := c.Memory().Snapshot(ten.Addr + 64)
+	c.WriteTile(ten.ID, 0, fill(64, 7))
+	c.WriteTile(ten.ID, 1, fill(64, 8)) // second update
+	c.WriteTile(ten.ID, 0, fill(64, 8))
+	c.Memory().Restore(ten.Addr+64, ct, mac)
+	if _, err := c.ReadTile(ten.ID, 1); !errors.Is(err, secmem.ErrIntegrity) {
+		t.Fatalf("stale tile accepted: %v", err)
+	}
+}
+
+func TestExpandLimits(t *testing.T) {
+	c := newCtx(t)
+	ten, _ := c.Alloc("x", 64)
+	if err := c.ExpandTiles(ten.ID, tensor.MaxTiles+1); err == nil {
+		t.Error("oversized expansion accepted")
+	}
+	if err := c.ExpandTiles(ten.ID, 2); err != nil {
+		t.Fatal(err)
+	}
+	// One block cannot be split into two tiles.
+	if _, err := c.ReadTile(ten.ID, 1); err == nil {
+		t.Error("tile beyond block count accepted")
+	}
+}
+
+func TestTsBufferFlow(t *testing.T) {
+	c := newCtx(t)
+	ten, _ := c.Alloc("x", 128)
+	version := c.Table().Bump(ten.ID)
+	var w BlockBuffer
+	for blk := uint64(0); blk < 2; blk++ {
+		for i := 0; i < 64; i++ {
+			w.TsWriteByte(i, byte(blk*64)+byte(i))
+		}
+		if err := c.TsWriteBlock(&w, ten.ID, blk, version); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var r BlockBuffer
+	if err := c.TsReadBlock(&r, ten.ID, 1, version); err != nil {
+		t.Fatal(err)
+	}
+	if r.TsReadByte(3) != 64+3 {
+		t.Fatalf("ts_read_byte = %d", r.TsReadByte(3))
+	}
+	if err := c.TsReadBlock(&r, ten.ID, 5, version); err == nil {
+		t.Error("out-of-tensor block accepted")
+	}
+	if err := c.TsWriteBlock(&w, ten.ID, 5, version); err == nil {
+		t.Error("out-of-tensor write accepted")
+	}
+}
+
+func TestTsBufferPanics(t *testing.T) {
+	var b BlockBuffer
+	assertPanic(t, func() { b.TsReadByte(0) }) // unfilled
+	assertPanic(t, func() { b.TsWriteByte(64, 0) })
+	b.TsWriteByte(0, 1)
+	assertPanic(t, func() { b.TsReadByte(-1) })
+}
+
+func assertPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestInitFetchTensor(t *testing.T) {
+	c := newCtx(t)
+	ten, _ := c.Alloc("w", 200) // unaligned tail exercises padding
+	data := fill(200, 9)
+	if err := c.InitTensor(ten.ID, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.FetchTensor(ten.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("ts round trip mismatch")
+	}
+	// The init published version 1; ReadTensor agrees.
+	if _, err := c.ReadTensor(ten.ID); err != nil {
+		t.Fatalf("ReadTensor after ts init: %v", err)
+	}
+}
+
+func TestSecureMatMul(t *testing.T) {
+	c := newCtx(t)
+	const m, k, n = 8, 16, 12
+	a := make([]int16, m*k)
+	b := make([]int16, k*n)
+	for i := range a {
+		a[i] = int16(i%7 - 3)
+	}
+	for i := range b {
+		b[i] = int16(i%5 - 2)
+	}
+	at, _ := c.Alloc("A", uint64(2*m*k))
+	bt, _ := c.Alloc("B", uint64(2*k*n))
+	ct, _ := c.Alloc("C", uint64(2*m*n))
+	c.InitTensor(at.ID, EncodeInt16(a))
+	c.InitTensor(bt.ID, EncodeInt16(b))
+
+	if err := SecureMatMul(c, at.ID, bt.ID, ct.ID, m, k, n, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadTensor(ct.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := EncodeInt16(MatMulInt16(a, b, m, k, n))
+	if !bytes.Equal(got, want) {
+		t.Fatal("secure matmul result differs from reference")
+	}
+}
+
+func TestSecureMatMulDetectsWeightTamper(t *testing.T) {
+	c := newCtx(t)
+	const m, k, n = 4, 4, 4
+	at, _ := c.Alloc("A", 2*m*k)
+	bt, _ := c.Alloc("B", 2*k*n)
+	ct, _ := c.Alloc("C", 2*m*n)
+	c.InitTensor(at.ID, make([]byte, 2*m*k))
+	c.InitTensor(bt.ID, make([]byte, 2*k*n))
+	c.Memory().Corrupt(bt.Addr, 3) // physical attack on the weights
+	if err := SecureMatMul(c, at.ID, bt.ID, ct.ID, m, k, n, 1); !errors.Is(err, secmem.ErrIntegrity) {
+		t.Fatalf("tampered weights undetected: %v", err)
+	}
+}
+
+func TestFree(t *testing.T) {
+	c := newCtx(t)
+	ten, _ := c.Alloc("x", 64)
+	if err := c.Free(ten.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Free(ten.ID); err == nil {
+		t.Error("double free accepted")
+	}
+	if _, ok := c.Lookup("x"); ok {
+		t.Error("freed tensor still visible")
+	}
+	// Name reusable after free.
+	if _, err := c.Alloc("x", 64); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SecureMatMul equals the reference product for random shapes
+// and data, for any legal tile count.
+func TestSecureMatMulProperty(t *testing.T) {
+	f := func(mr, kr, nr uint8, tilesR uint8, seed int64) bool {
+		m, k, n := int(mr%6)+1, int(kr%6)+1, int(nr%6)+2
+		c, err := NewContext(xtsKey, macKey)
+		if err != nil {
+			return false
+		}
+		a := make([]int16, m*k)
+		b := make([]int16, k*n)
+		s := seed
+		next := func() int16 { s = s*6364136223846793005 + 1; return int16(s >> 48) }
+		for i := range a {
+			a[i] = next()
+		}
+		for i := range b {
+			b[i] = next()
+		}
+		at, _ := c.Alloc("A", uint64(2*m*k))
+		bt, _ := c.Alloc("B", uint64(2*k*n))
+		ct, _ := c.Alloc("C", uint64(2*m*n))
+		c.InitTensor(at.ID, EncodeInt16(a))
+		c.InitTensor(bt.ID, EncodeInt16(b))
+		tiles := int(tilesR%3) + 1
+		if tiles > (2*m*n+63)/64 {
+			tiles = 1
+		}
+		if err := SecureMatMul(c, at.ID, bt.ID, ct.ID, m, k, n, tiles); err != nil {
+			return false
+		}
+		got, err := c.ReadTensor(ct.ID)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, EncodeInt16(MatMulInt16(a, b, m, k, n)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecodeInt16(t *testing.T) {
+	vals := []int16{0, 1, -1, 32767, -32768, 1234}
+	got := DecodeInt16(EncodeInt16(vals))
+	for i, v := range vals {
+		if got[i] != v {
+			t.Fatalf("round trip [%d] = %d, want %d", i, got[i], v)
+		}
+	}
+}
+
+func TestCrossContextIsolation(t *testing.T) {
+	// Two NPU contexts hold distinct session keys (established at their
+	// respective initializations, Sec. IV-E): data lifted from one
+	// context's DRAM cannot be injected into the other.
+	a := newCtx(t)
+	b, err := NewContext(xtsKey, []byte("other-context-ke"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, _ := a.Alloc("x", 64)
+	tb, _ := b.Alloc("x", 64)
+	a.WriteTensor(ta.ID, fill(64, 1))
+	b.WriteTensor(tb.ID, fill(64, 2))
+	ct, mac, _ := a.Memory().Snapshot(ta.Addr)
+	b.Memory().Restore(tb.Addr, ct, mac)
+	if _, err := b.ReadTensor(tb.ID); !errors.Is(err, secmem.ErrIntegrity) {
+		t.Fatalf("foreign-context block accepted: %v", err)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tnpu/internal/tensor"
+)
+
+// EncodeInt16 packs int16 values little-endian (the 2-byte elements of
+// Table II's fp16 precision; integer arithmetic keeps the functional demo
+// exact).
+func EncodeInt16(vals []int16) []byte {
+	out := make([]byte, 2*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint16(out[2*i:], uint16(v))
+	}
+	return out
+}
+
+// DecodeInt16 unpacks little-endian int16 values.
+func DecodeInt16(data []byte) []int16 {
+	out := make([]int16, len(data)/2)
+	for i := range out {
+		out[i] = int16(binary.LittleEndian.Uint16(data[2*i:]))
+	}
+	return out
+}
+
+// MatMulInt16 is the reference m×k × k×n product with wrapping int16
+// accumulation.
+func MatMulInt16(a, b []int16, m, k, n int) []int16 {
+	c := make([]int16, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc int16
+			for x := 0; x < k; x++ {
+				acc += a[i*k+x] * b[x*n+j]
+			}
+			c[i*n+j] = acc
+		}
+	}
+	return c
+}
+
+// SecureMatMul runs C = A×B through the protected context with the Fig. 9
+// discipline: A and B stream in under their tensor versions (every block
+// MAC-verified), the output tensor's version entry expands into tiles,
+// each tile is written under its own bumped version as it completes, and
+// the entry merges back once all tiles carry the same count. Any physical
+// attack between the writes and later reads of C is detected by the next
+// consumer.
+func SecureMatMul(ctx *Context, aID, bID, cID tensor.ID, m, k, n, tiles int) error {
+	aBytes, err := ctx.ReadTensor(aID)
+	if err != nil {
+		return fmt.Errorf("core: matmul input A: %w", err)
+	}
+	bBytes, err := ctx.ReadTensor(bID)
+	if err != nil {
+		return fmt.Errorf("core: matmul input B: %w", err)
+	}
+	a, b := DecodeInt16(aBytes), DecodeInt16(bBytes)
+	if len(a) < m*k || len(b) < k*n {
+		return fmt.Errorf("core: matmul dims %dx%dx%d exceed tensors (%d, %d elems)", m, k, n, len(a), len(b))
+	}
+	c := EncodeInt16(MatMulInt16(a[:m*k], b[:k*n], m, k, n))
+
+	if tiles <= 1 {
+		return ctx.WriteTensor(cID, c)
+	}
+	if err := ctx.ExpandTiles(cID, tiles); err != nil {
+		return err
+	}
+	t, err := ctx.get(cID)
+	if err != nil {
+		return err
+	}
+	if uint64(len(c)) != t.Bytes {
+		return fmt.Errorf("core: output tensor %s is %d bytes, product is %d", t.Name, t.Bytes, len(c))
+	}
+	for tile := 0; tile < tiles; tile++ {
+		off, size, err := tileSpan(t, tile, tiles)
+		if err != nil {
+			return err
+		}
+		if err := ctx.WriteTile(cID, tile, c[off:off+size]); err != nil {
+			return err
+		}
+	}
+	return ctx.MergeTiles(cID)
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"tnpu/internal/dram"
+	"tnpu/internal/tensor"
+)
+
+// BlockBuffer is the per-core 64-byte staging buffer behind the new CPU
+// tensor-access instructions (Sec. IV-C): CPU caches cannot carry version
+// numbers, so tensor pages are uncacheable and the CPU moves data through
+// two small block buffers. ts_write_byte fills the write buffer, which
+// ts_write_block flushes to memory under a version number; ts_read_block
+// fills the read buffer, which ts_read_byte picks apart.
+type BlockBuffer struct {
+	data  [dram.BlockBytes]byte
+	valid bool
+}
+
+// TsWriteByte stores one byte into the write buffer (ts_write_byte).
+func (b *BlockBuffer) TsWriteByte(i int, v byte) {
+	if i < 0 || i >= dram.BlockBytes {
+		panic(fmt.Sprintf("core: ts_write_byte index %d out of block", i))
+	}
+	b.data[i] = v
+	b.valid = true
+}
+
+// TsReadByte returns one byte of the read buffer (ts_read_byte). Reading
+// an unfilled buffer panics: the software must ts_read_block first.
+func (b *BlockBuffer) TsReadByte(i int) byte {
+	if !b.valid {
+		panic("core: ts_read_byte before ts_read_block")
+	}
+	if i < 0 || i >= dram.BlockBytes {
+		panic(fmt.Sprintf("core: ts_read_byte index %d out of block", i))
+	}
+	return b.data[i]
+}
+
+// TsWriteBlock flushes the write buffer to block index blockIdx of the
+// tensor, MACed under the supplied version (ts_write_block). The version
+// is an explicit operand, exactly as in the extended ISA: during
+// initialization the software writes every block of a tensor under the
+// same fresh version and only then publishes it in the table.
+func (c *Context) TsWriteBlock(buf *BlockBuffer, id tensor.ID, blockIdx uint64, version uint64) error {
+	t, err := c.get(id)
+	if err != nil {
+		return err
+	}
+	if blockIdx >= t.Blocks() {
+		return fmt.Errorf("core: block %d beyond tensor %s (%d blocks)", blockIdx, t.Name, t.Blocks())
+	}
+	c.mem.WriteBlock(t.Addr+blockIdx*dram.BlockBytes, buf.data[:], version)
+	return nil
+}
+
+// TsReadBlock fetches and verifies one tensor block into the read buffer
+// (ts_read_block).
+func (c *Context) TsReadBlock(buf *BlockBuffer, id tensor.ID, blockIdx uint64, version uint64) error {
+	t, err := c.get(id)
+	if err != nil {
+		return err
+	}
+	if blockIdx >= t.Blocks() {
+		return fmt.Errorf("core: block %d beyond tensor %s (%d blocks)", blockIdx, t.Name, t.Blocks())
+	}
+	data, err := c.mem.ReadBlock(t.Addr+blockIdx*dram.BlockBytes, version)
+	if err != nil {
+		return err
+	}
+	copy(buf.data[:], data)
+	buf.valid = true
+	return nil
+}
+
+// InitTensor is the full initialization flow of Fig. 13a: the CPU streams
+// data into the tensor through the ts_write path block by block under a
+// fresh version, then publishes the version by bumping the table entry.
+// The bump-then-write order matters: readers use the table's value, which
+// must match what the blocks were MACed with.
+func (c *Context) InitTensor(id tensor.ID, data []byte) error {
+	t, err := c.get(id)
+	if err != nil {
+		return err
+	}
+	if uint64(len(data)) != t.Bytes {
+		return fmt.Errorf("core: tensor %s is %d bytes, got %d", t.Name, t.Bytes, len(data))
+	}
+	version := c.table.Bump(id)
+	var buf BlockBuffer
+	for blk := uint64(0); blk < t.Blocks(); blk++ {
+		for i := 0; i < dram.BlockBytes; i++ {
+			off := blk*dram.BlockBytes + uint64(i)
+			if off < uint64(len(data)) {
+				buf.TsWriteByte(i, data[off])
+			} else {
+				buf.TsWriteByte(i, 0)
+			}
+		}
+		if err := c.TsWriteBlock(&buf, id, blk, version); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FetchTensor is the inverse flow: the CPU reads the tensor back through
+// the ts_read path, verifying every block against the table's version.
+func (c *Context) FetchTensor(id tensor.ID) ([]byte, error) {
+	t, err := c.get(id)
+	if err != nil {
+		return nil, err
+	}
+	version := c.table.Version(id)
+	out := make([]byte, 0, t.Bytes)
+	var buf BlockBuffer
+	for blk := uint64(0); blk < t.Blocks(); blk++ {
+		if err := c.TsReadBlock(&buf, id, blk, version); err != nil {
+			return nil, err
+		}
+		for i := 0; i < dram.BlockBytes && uint64(len(out)) < t.Bytes; i++ {
+			out = append(out, buf.TsReadByte(i))
+		}
+	}
+	return out, nil
+}

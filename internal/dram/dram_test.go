@@ -1,0 +1,243 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// smallCfg mirrors the paper's Small NPU memory interface: 2.75 GHz clock,
+// 11 GB/s -> 4 bytes per cycle.
+var smallCfg = Config{FreqHz: 2_750_000_000, BandwidthBytesPerSec: 11_000_000_000, LatencyCycles: 100}
+
+// largeCfg mirrors the Large NPU: 1 GHz, 22 GB/s -> 22 bytes per cycle.
+var largeCfg = Config{FreqHz: 1_000_000_000, BandwidthBytesPerSec: 22_000_000_000, LatencyCycles: 100}
+
+func TestCyclesPerByte(t *testing.T) {
+	num, den := smallCfg.CyclesPerByte()
+	if num != 1 || den != 4 {
+		t.Errorf("small cycles/byte = %d/%d, want 1/4", num, den)
+	}
+	num, den = largeCfg.CyclesPerByte()
+	if num != 1 || den != 22 {
+		t.Errorf("large cycles/byte = %d/%d, want 1/22", num, den)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := smallCfg.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestNewBusPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBus(Config{})
+}
+
+func TestTransferBandwidth(t *testing.T) {
+	b := NewBus(smallCfg)
+	// 64B at 4 B/cycle = 16 cycles.
+	if done := b.Transfer(0, 64); done != 16 {
+		t.Errorf("64B transfer done at %d, want 16", done)
+	}
+	// Back-to-back: next transfer starts at 16.
+	if done := b.Transfer(0, 64); done != 32 {
+		t.Errorf("second transfer done at %d, want 32", done)
+	}
+	// Idle gap honoured.
+	if done := b.Transfer(100, 4); done != 101 {
+		t.Errorf("gapped transfer done at %d, want 101", done)
+	}
+}
+
+func TestReadAddsLatency(t *testing.T) {
+	b := NewBus(smallCfg)
+	if at := b.Read(0, 64); at != 116 {
+		t.Errorf("read data available at %d, want 116", at)
+	}
+	// Bus itself is only occupied for the 16 transfer cycles.
+	if b.Now() != 16 {
+		t.Errorf("bus horizon = %d, want 16", b.Now())
+	}
+}
+
+func TestSubCycleRemainderExact(t *testing.T) {
+	b := NewBus(largeCfg) // 1/22 cycles per byte
+	// 22 transfers of 64B = 1408 bytes = exactly 64 cycles; per-transfer
+	// rounding must not accumulate error.
+	var done uint64
+	for i := 0; i < 22; i++ {
+		done = b.Transfer(0, 64)
+	}
+	if done != 64 {
+		t.Errorf("22x64B at 22B/cycle done at %d, want 64", done)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	b := NewBus(smallCfg)
+	b.Transfer(0, 128)
+	b.Transfer(1000, 64)
+	if b.BytesMoved() != 192 {
+		t.Errorf("bytes moved = %d, want 192", b.BytesMoved())
+	}
+	if b.BusyCycles() != 48 {
+		t.Errorf("busy cycles = %d, want 48", b.BusyCycles())
+	}
+	if u := b.Utilization(); u <= 0 || u > 1 {
+		t.Errorf("utilization out of range: %v", u)
+	}
+}
+
+func TestUtilizationEmpty(t *testing.T) {
+	b := NewBus(smallCfg)
+	if b.Utilization() != 0 {
+		t.Error("fresh bus should report zero utilization")
+	}
+}
+
+func TestCyclesForBytes(t *testing.T) {
+	b := NewBus(largeCfg)
+	if c := b.CyclesForBytes(64); c != 3 { // 64/22 = 2.9 -> 3
+		t.Errorf("CyclesForBytes(64) = %d, want 3", c)
+	}
+	if c := b.CyclesForBytes(0); c != 0 {
+		t.Errorf("CyclesForBytes(0) = %d, want 0", c)
+	}
+}
+
+// Property: a transfer never completes before its ready time plus its own
+// bandwidth cost (gap backfill may complete it before LATER-ready
+// requests, but never before it could physically start).
+func TestCompletionBoundProperty(t *testing.T) {
+	f := func(reqs []struct {
+		Ready uint16
+		Bytes uint16
+	}) bool {
+		b := NewBus(smallCfg)
+		for _, r := range reqs {
+			done := b.Transfer(uint64(r.Ready), uint64(r.Bytes))
+			if done < uint64(r.Ready)+uint64(r.Bytes)/4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Gap backfill: a late-arriving request with an early ready time is served
+// in an idle window instead of queueing at the horizon.
+func TestGapBackfill(t *testing.T) {
+	b := NewBus(smallCfg)
+	b.Transfer(0, 64)    // busy [0,16)
+	b.Transfer(1000, 64) // busy [1000,1016), gap [16,1000)
+	if done := b.Transfer(20, 64); done != 36 {
+		t.Errorf("backfilled transfer done at %d, want 36", done)
+	}
+	// The used part of the gap is gone; the rest remains usable.
+	if done := b.Transfer(0, 64); done != 52 {
+		t.Errorf("second backfill done at %d, want 52", done)
+	}
+}
+
+// Property: total busy cycles equal the exact rational cost of total bytes
+// within one cycle (remainder carrying loses nothing).
+func TestExactBandwidthProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		b := NewBus(largeCfg)
+		var total uint64
+		for _, s := range sizes {
+			b.Transfer(0, uint64(s))
+			total += uint64(s)
+		}
+		exact := total / 22 // floor of total/22
+		return b.BusyCycles() == exact || b.BusyCycles() == exact+1 || (total%22 != 0 && b.BusyCycles() == exact)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSharedBusSerializesClients(t *testing.T) {
+	// Two logical clients interleaving: each gets roughly half the
+	// effective bandwidth, i.e. completing 2x64B takes as long as a single
+	// client moving 128B.
+	b := NewBus(smallCfg)
+	d1 := b.Transfer(0, 64) // client A
+	d2 := b.Transfer(0, 64) // client B queued behind A
+	if d1 != 16 || d2 != 32 {
+		t.Errorf("interleaved completions = %d,%d want 16,32", d1, d2)
+	}
+}
+
+func TestMultiChannelRouting(t *testing.T) {
+	cfg := smallCfg
+	cfg.Channels = 4
+	b := NewBus(cfg)
+	if b.Channels() != 4 {
+		t.Fatalf("channels = %d", b.Channels())
+	}
+	// Per-channel bandwidth is a quarter: 64B at 1 B/cycle = 64 cycles.
+	if done := b.TransferAt(0, 0, 64); done != 64 {
+		t.Errorf("single-channel 64B done at %d, want 64", done)
+	}
+	// A block on another channel proceeds in parallel.
+	if done := b.TransferAt(0, 64, 64); done != 64 {
+		t.Errorf("parallel channel done at %d, want 64", done)
+	}
+	// Same channel serializes.
+	if done := b.TransferAt(0, 4*64, 64); done != 128 {
+		t.Errorf("same-channel second block done at %d, want 128", done)
+	}
+	if b.BytesMoved() != 3*64 {
+		t.Errorf("bytes moved = %d", b.BytesMoved())
+	}
+}
+
+func TestMultiChannelAggregateBandwidth(t *testing.T) {
+	// Interleaved sequential blocks achieve the aggregate bandwidth: 4
+	// channels x 16 blocks of 64B = 4KB at 4 B/cycle aggregate = 1024
+	// cycles.
+	cfg := smallCfg
+	cfg.Channels = 4
+	b := NewBus(cfg)
+	var last uint64
+	for i := uint64(0); i < 64; i++ {
+		done := b.TransferAt(0, i*64, 64)
+		if done > last {
+			last = done
+		}
+	}
+	if last != 1024 {
+		t.Errorf("64 interleaved blocks done at %d, want 1024", last)
+	}
+	if u := b.Utilization(); u < 0.99 || u > 1.01 {
+		t.Errorf("utilization = %v, want ~1", u)
+	}
+}
+
+func TestSingleChannelCompat(t *testing.T) {
+	// Channels<=1 must behave exactly like the legacy single bus.
+	a := NewBus(smallCfg)
+	cfg := smallCfg
+	cfg.Channels = 1
+	c := NewBus(cfg)
+	for i := uint64(0); i < 10; i++ {
+		if a.TransferAt(0, i*64, 64) != c.TransferAt(0, i*64, 64) {
+			t.Fatal("channels=1 diverges from default")
+		}
+	}
+	if a.Transfer(0, 64) != c.TransferAt(0, 0, 64) {
+		t.Fatal("legacy Transfer diverges from TransferAt on channel 0")
+	}
+}

@@ -1,0 +1,86 @@
+package e2e
+
+import (
+	"testing"
+
+	"tnpu/internal/memprot"
+	"tnpu/internal/npu"
+)
+
+func TestBatchAmortizesInit(t *testing.T) {
+	cfg := npu.SmallNPU()
+	prog := compileFor(t, "df", cfg)
+	one, err := RunBatch(prog, memprot.TreeLess, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := RunBatch(prog, memprot.TreeLess, cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.InitCycles != one.InitCycles {
+		t.Errorf("init should be identical: %d vs %d", many.InitCycles, one.InitCycles)
+	}
+	// Total-per-request including init shrinks toward the steady state.
+	perReqOne := one.TotalCycles
+	perReqMany := many.TotalCycles / 8
+	if perReqMany >= perReqOne {
+		t.Errorf("amortization missing: 1-req %d vs per-req-of-8 %d", perReqOne, perReqMany)
+	}
+	if many.PerRequestCycles == 0 || many.Requests != 8 {
+		t.Fatalf("bad result: %+v", many)
+	}
+}
+
+func TestBatchSteadyStateOverheadBelowColdStart(t *testing.T) {
+	// The paper's amortization argument: the steady-state TNPU overhead
+	// (init excluded) matches the NPU-only figure, below the cold-start
+	// end-to-end number.
+	cfg := npu.SmallNPU()
+	prog := compileFor(t, "alex", cfg)
+	over := func(s memprot.Scheme) float64 {
+		u, err := RunBatch(prog, memprot.Unsecure, cfg, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := RunBatch(prog, s, cfg, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(v.PerRequestCycles) / float64(u.PerRequestCycles)
+	}
+	base := over(memprot.Baseline)
+	tl := over(memprot.TreeLess)
+	if !(1 < tl && tl < base) {
+		t.Errorf("steady-state ordering violated: tnpu=%.3f baseline=%.3f", tl, base)
+	}
+}
+
+func TestBatchThroughput(t *testing.T) {
+	cfg := npu.SmallNPU()
+	prog := compileFor(t, "df", cfg)
+	r, err := RunBatch(prog, memprot.TreeLess, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tput := r.Throughput(cfg.Mem.FreqHz)
+	if tput <= 0 || tput > 1e6 {
+		t.Errorf("implausible throughput %v inf/s", tput)
+	}
+	if (BatchResult{}).Throughput(1e9) != 0 {
+		t.Error("zero result should give zero throughput")
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	cfg := npu.SmallNPU()
+	prog := compileFor(t, "df", cfg)
+	if _, err := RunBatch(prog, memprot.Unsecure, cfg, 0); err == nil {
+		t.Error("zero requests accepted")
+	}
+	bad := cfg
+	bad.Mem.FreqHz = 0
+	if _, err := RunBatch(prog, memprot.Unsecure, bad, 1); err == nil {
+		t.Error("bad config accepted")
+	}
+}

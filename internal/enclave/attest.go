@@ -1,0 +1,77 @@
+package enclave
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Measurement is the SGX-style enclave build measurement: a running
+// SHA-256 over every page added at load time (address, permission,
+// content). The NPU instructions are part of the CPU enclave binary, so
+// measuring the enclave covers the NPU program too (Sec. IV-E).
+type Measurement struct {
+	state [32]byte
+}
+
+// NewMeasurement starts an empty measurement.
+func NewMeasurement() *Measurement { return &Measurement{} }
+
+// ExtendPage folds one loaded page into the measurement.
+func (m *Measurement) ExtendPage(virtPage uint64, perm Perm, content []byte) {
+	h := sha256.New()
+	h.Write(m.state[:])
+	var meta [9]byte
+	binary.LittleEndian.PutUint64(meta[:8], virtPage)
+	meta[8] = byte(perm)
+	h.Write(meta[:])
+	h.Write(content)
+	copy(m.state[:], h.Sum(nil))
+}
+
+// Digest returns the current measurement value.
+func (m *Measurement) Digest() [32]byte { return m.state }
+
+// Quote is a local attestation report: the enclave measurement bound to
+// user data (e.g. a channel key), authenticated by the device key.
+type Quote struct {
+	Measurement [32]byte
+	UserData    [32]byte
+	mac         [32]byte
+}
+
+// Device models the processor's attestation identity: a device-unique key
+// fused at manufacturing, never exported. Both CPU and NPU sit inside the
+// same package, so one device quote covers the whole SoC (Sec. IV-E).
+type Device struct {
+	key []byte
+}
+
+// NewDevice creates a device with the given fused key.
+func NewDevice(fusedKey []byte) *Device {
+	k := make([]byte, len(fusedKey))
+	copy(k, fusedKey)
+	return &Device{key: k}
+}
+
+// Sign produces a quote for an enclave measurement.
+func (d *Device) Sign(meas, userData [32]byte) Quote {
+	q := Quote{Measurement: meas, UserData: userData}
+	q.mac = d.mac(q)
+	return q
+}
+
+// VerifyQuote checks a quote's authenticity.
+func (d *Device) VerifyQuote(q Quote) bool {
+	want := d.mac(q)
+	return hmac.Equal(want[:], q.mac[:])
+}
+
+func (d *Device) mac(q Quote) [32]byte {
+	h := hmac.New(sha256.New, d.key)
+	h.Write(q.Measurement[:])
+	h.Write(q.UserData[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

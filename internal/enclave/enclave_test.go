@@ -1,0 +1,292 @@
+package enclave
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEEPCMAssignLookupReclaim(t *testing.T) {
+	m := NewEEPCM()
+	if err := m.Assign(5, EEPCMEntry{Owner: 1, VirtPage: 9, Perm: PermRead}); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := m.Lookup(5)
+	if !ok || e.Owner != 1 || e.VirtPage != 9 {
+		t.Fatalf("lookup = %+v, %v", e, ok)
+	}
+	if err := m.Assign(5, EEPCMEntry{Owner: 2}); !errors.Is(err, ErrPageInUse) {
+		t.Fatalf("double assign: %v", err)
+	}
+	m.Reclaim(5)
+	if _, ok := m.Lookup(5); ok {
+		t.Fatal("entry survived reclaim")
+	}
+	if err := m.Assign(5, EEPCMEntry{Owner: 2, VirtPage: 9, Perm: PermRead}); err != nil {
+		t.Fatalf("reassign after reclaim: %v", err)
+	}
+}
+
+func TestEEPCMValidate(t *testing.T) {
+	m := NewEEPCM()
+	m.Assign(5, EEPCMEntry{Owner: 1, VirtPage: 9, Perm: PermRead | PermWrite})
+	if err := m.Validate(1, 9, 5, PermRead); err != nil {
+		t.Errorf("valid translation rejected: %v", err)
+	}
+	if err := m.Validate(2, 9, 5, PermRead); !errors.Is(err, ErrNotOwner) {
+		t.Errorf("foreign owner accepted: %v", err)
+	}
+	if err := m.Validate(1, 8, 5, PermRead); !errors.Is(err, ErrBadMapping) {
+		t.Errorf("wrong virt page accepted: %v", err)
+	}
+	if err := m.Validate(1, 9, 5, PermExec); !errors.Is(err, ErrNoPerm) {
+		t.Errorf("missing perm accepted: %v", err)
+	}
+	if err := m.Validate(1, 9, 6, PermRead); !errors.Is(err, ErrNotOwner) {
+		t.Errorf("unassigned page accepted: %v", err)
+	}
+}
+
+func setupTLB(t *testing.T) (*TLB, *PageTable, *EEPCM) {
+	t.Helper()
+	eepcm := NewEEPCM()
+	pt := NewPageTable()
+	if err := eepcm.Assign(100, EEPCMEntry{Owner: 1, VirtPage: 10, Perm: PermRead | PermWrite}); err != nil {
+		t.Fatal(err)
+	}
+	pt.Map(10, 100)
+	return NewTLB(1, pt, eepcm), pt, eepcm
+}
+
+func TestTLBTranslate(t *testing.T) {
+	tlb, _, _ := setupTLB(t)
+	pa, err := tlb.Translate(10*PageBytes+123, PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != 100*PageBytes+123 {
+		t.Fatalf("pa = %#x", pa)
+	}
+	// Second access hits.
+	tlb.Translate(10*PageBytes, PermRead)
+	if tlb.Hits != 1 || tlb.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d", tlb.Hits, tlb.Misses)
+	}
+}
+
+func TestTLBRejectsOSRemapAttack(t *testing.T) {
+	// The OS remaps the victim's virtual page onto an attacker-owned
+	// physical page: EEPCM validation must reject the fill.
+	tlb, pt, eepcm := setupTLB(t)
+	eepcm.Assign(200, EEPCMEntry{Owner: 2, VirtPage: 10, Perm: PermRead | PermWrite})
+	pt.Map(10, 200) // malicious rewrite before first access
+	if _, err := tlb.Translate(10*PageBytes, PermRead); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("remap attack not rejected: %v", err)
+	}
+	if tlb.Rejections != 1 {
+		t.Fatalf("rejections = %d", tlb.Rejections)
+	}
+}
+
+func TestTLBRejectsAliasAttack(t *testing.T) {
+	// The OS maps a DIFFERENT virtual page onto the victim's physical
+	// page (aliasing): the EEPCM's recorded virtual page disagrees.
+	tlb, pt, _ := setupTLB(t)
+	pt.Map(11, 100)
+	if _, err := tlb.Translate(11*PageBytes, PermRead); !errors.Is(err, ErrBadMapping) {
+		t.Fatalf("alias attack not rejected: %v", err)
+	}
+}
+
+func TestTLBUnmapped(t *testing.T) {
+	tlb, _, _ := setupTLB(t)
+	if _, err := tlb.Translate(99*PageBytes, PermRead); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("unmapped va: %v", err)
+	}
+}
+
+func TestTLBShootdown(t *testing.T) {
+	tlb, pt, eepcm := setupTLB(t)
+	tlb.Translate(10*PageBytes, PermRead) // cache it
+	// Page reclaimed and reassigned to another enclave; without a
+	// shootdown the stale entry would leak access.
+	eepcm.Reclaim(100)
+	eepcm.Assign(100, EEPCMEntry{Owner: 2, VirtPage: 10, Perm: PermRead})
+	tlb.Shootdown(10)
+	pt.Map(10, 100)
+	if _, err := tlb.Translate(10*PageBytes, PermRead); err == nil {
+		t.Fatal("stale access allowed after ownership change")
+	}
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	mgr := NewManager(2)
+	dev := NewDevice([]byte("fused-device-key"))
+
+	// Driver enclave: measured and installed.
+	drv, err := mgr.CreateEnclave(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.AddPage(drv, 1, 1000, PermRead|PermExec, RegionFullyProtected, []byte("driver code"))
+	if err := mgr.InstallDriver(drv, drv.Measurement().Digest()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Application enclave with a valid quote gets an NPU context.
+	app, err := mgr.CreateEnclave(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.AddPage(app, 1, 2000, PermRead|PermExec, RegionFullyProtected, []byte("app code"))
+	quote := dev.Sign(app.Measurement().Digest(), [32]byte{1})
+	ctx, err := mgr.RequestNPU(app, quote, dev, 0x100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Owner != app.ID {
+		t.Fatal("context owner wrong")
+	}
+
+	// NPU pages inside NELRANGE map fine; outside rejected.
+	if err := mgr.AddNPUPage(app, 0x100, 3000, PermRead|PermWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.AddNPUPage(app, 0x99, 3001, PermRead); !errors.Is(err, ErrOutsideRange) {
+		t.Fatalf("out-of-NELRANGE accepted: %v", err)
+	}
+
+	// IOMMU translates the NPU page; a foreign enclave's MMU cannot.
+	if _, err := ctx.IOMMU.Translate(0x100*PageBytes, PermWrite); err != nil {
+		t.Fatalf("IOMMU rejected legal access: %v", err)
+	}
+	intruder, _ := mgr.CreateEnclave(3)
+	intruder.PageTable().Map(0x100, 3000)
+	if _, err := intruder.TLB().Translate(0x100*PageBytes, PermRead); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("foreign enclave reached NPU page: %v", err)
+	}
+
+	// Teardown frees the NPU and the pages.
+	mgr.Destroy(app)
+	if err := mgr.AddNPUPage(app, 0x100, 4000, PermRead); !errors.Is(err, ErrTornDown) {
+		t.Fatalf("dead enclave usable: %v", err)
+	}
+	app2, _ := mgr.CreateEnclave(4)
+	mgr.AddPage(app2, 1, 2000, PermRead, RegionFullyProtected, nil) // page 2000 reclaimed
+	q2 := dev.Sign(app2.Measurement().Digest(), [32]byte{})
+	if _, err := mgr.RequestNPU(app2, q2, dev, 0, 16); err != nil {
+		t.Fatalf("freed NPU not reusable: %v", err)
+	}
+}
+
+func TestDriverGate(t *testing.T) {
+	mgr := NewManager(1)
+	dev := NewDevice([]byte("k"))
+	app, _ := mgr.CreateEnclave(2)
+	q := dev.Sign(app.Measurement().Digest(), [32]byte{})
+	if _, err := mgr.RequestNPU(app, q, dev, 0, 1); !errors.Is(err, ErrNoDriver) {
+		t.Fatalf("NPU granted without driver enclave: %v", err)
+	}
+}
+
+func TestForgedQuoteRejected(t *testing.T) {
+	mgr := NewManager(1)
+	dev := NewDevice([]byte("real-key"))
+	evil := NewDevice([]byte("evil-key"))
+	drv, _ := mgr.CreateEnclave(1)
+	mgr.InstallDriver(drv, drv.Measurement().Digest())
+	app, _ := mgr.CreateEnclave(2)
+	forged := evil.Sign(app.Measurement().Digest(), [32]byte{})
+	if _, err := mgr.RequestNPU(app, forged, dev, 0, 1); !errors.Is(err, ErrNotAttested) {
+		t.Fatalf("forged quote accepted: %v", err)
+	}
+	// Quote for a DIFFERENT (tampered) measurement also rejected.
+	other := dev.Sign([32]byte{0xFF}, [32]byte{})
+	if _, err := mgr.RequestNPU(app, other, dev, 0, 1); !errors.Is(err, ErrNotAttested) {
+		t.Fatalf("mismatched measurement accepted: %v", err)
+	}
+}
+
+func TestNPUExhaustion(t *testing.T) {
+	mgr := NewManager(1)
+	dev := NewDevice([]byte("k"))
+	drv, _ := mgr.CreateEnclave(1)
+	mgr.InstallDriver(drv, drv.Measurement().Digest())
+	a, _ := mgr.CreateEnclave(2)
+	b, _ := mgr.CreateEnclave(3)
+	qa := dev.Sign(a.Measurement().Digest(), [32]byte{})
+	qb := dev.Sign(b.Measurement().Digest(), [32]byte{})
+	if _, err := mgr.RequestNPU(a, qa, dev, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.RequestNPU(b, qb, dev, 0, 1); !errors.Is(err, ErrNPUsBusy) {
+		t.Fatalf("second NPU granted from pool of 1: %v", err)
+	}
+}
+
+func TestMeasurementSensitivity(t *testing.T) {
+	base := NewMeasurement()
+	base.ExtendPage(1, PermRead, []byte("code"))
+	d1 := base.Digest()
+
+	m2 := NewMeasurement()
+	m2.ExtendPage(1, PermRead, []byte("codf")) // content changed
+	if m2.Digest() == d1 {
+		t.Error("content change not reflected")
+	}
+	m3 := NewMeasurement()
+	m3.ExtendPage(2, PermRead, []byte("code")) // address changed
+	if m3.Digest() == d1 {
+		t.Error("address change not reflected")
+	}
+	m4 := NewMeasurement()
+	m4.ExtendPage(1, PermWrite, []byte("code")) // perm changed
+	if m4.Digest() == d1 {
+		t.Error("permission change not reflected")
+	}
+}
+
+func TestQuoteRoundTrip(t *testing.T) {
+	dev := NewDevice([]byte("fused"))
+	q := dev.Sign([32]byte{1, 2, 3}, [32]byte{9})
+	if !dev.VerifyQuote(q) {
+		t.Fatal("genuine quote rejected")
+	}
+	q.UserData[0] ^= 1
+	if dev.VerifyQuote(q) {
+		t.Fatal("tampered quote accepted")
+	}
+}
+
+func TestCreateEnclaveErrors(t *testing.T) {
+	mgr := NewManager(0)
+	if _, err := mgr.CreateEnclave(0); err == nil {
+		t.Error("id 0 accepted")
+	}
+	mgr.CreateEnclave(7)
+	if _, err := mgr.CreateEnclave(7); !errors.Is(err, ErrDoubleCreate) {
+		t.Error("duplicate id accepted")
+	}
+}
+
+// Property: a translation only succeeds when owner, virtual page, and
+// permissions all line up with the EEPCM.
+func TestValidateProperty(t *testing.T) {
+	f := func(owner uint8, vp, pp uint16, perm, need uint8) bool {
+		m := NewEEPCM()
+		realOwner := ID(owner%3 + 1)
+		m.Assign(uint64(pp), EEPCMEntry{
+			Owner: realOwner, VirtPage: uint64(vp), Perm: Perm(perm & 7),
+		})
+		tryOwner := ID(owner%3 + 1)
+		if owner%2 == 0 {
+			tryOwner++
+		}
+		err := m.Validate(tryOwner, uint64(vp), uint64(pp), Perm(need&7))
+		want := tryOwner == realOwner && Perm(perm&7)&Perm(need&7) == Perm(need&7)
+		return (err == nil) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

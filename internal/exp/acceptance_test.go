@@ -1,0 +1,154 @@
+package exp
+
+import (
+	"sort"
+	"testing"
+
+	"tnpu/internal/memprot"
+)
+
+// TestReproductionAcceptance is the repository's reproduction gate: it
+// regenerates the paper's headline artifacts over the full 14-workload
+// suite and asserts the documented bands of EXPERIMENTS.md. Run with
+// -short to skip (it simulates ~170 configurations, ~30s).
+func TestReproductionAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite acceptance run")
+	}
+	r := NewRunner()
+
+	// --- Figure 14 bands (paper: small 1.211/1.090, large 1.173/1.086).
+	f14, err := r.Figure14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]Series{}
+	for _, s := range f14.Series {
+		series[s.Class.String()+"/"+s.Label] = s
+	}
+	within := func(name string, lo, hi float64) Series {
+		t.Helper()
+		s, ok := series[name]
+		if !ok {
+			t.Fatalf("missing series %s", name)
+		}
+		if m := s.Mean(); m < lo || m > hi {
+			t.Errorf("%s mean %.3f outside accepted band [%.2f, %.2f]", name, m, lo, hi)
+		}
+		return s
+	}
+	smallBase := within("small/baseline", 1.14, 1.28)
+	smallTNPU := within("small/tnpu", 1.07, 1.17)
+	within("large/tnpu", 1.02, 1.12)
+	if smallTNPU.Mean() >= smallBase.Mean() {
+		t.Error("TNPU does not beat the baseline on Small")
+	}
+
+	// Per-model ordering: TNPU <= baseline everywhere, both classes.
+	for _, class := range []string{"small", "large"} {
+		base, tnpu := series[class+"/baseline"], series[class+"/tnpu"]
+		for i, short := range base.Models {
+			if tnpu.Values[i] > base.Values[i] {
+				t.Errorf("%s/%s: tnpu %.3f above baseline %.3f", class, short, tnpu.Values[i], base.Values[i])
+			}
+		}
+	}
+
+	// sent and tf must sit among the three worst baseline models (Small).
+	type mv struct {
+		short string
+		v     float64
+	}
+	ranked := make([]mv, len(smallBase.Models))
+	for i := range smallBase.Models {
+		ranked[i] = mv{smallBase.Models[i], smallBase.Values[i]}
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].v > ranked[j].v })
+	top := map[string]bool{ranked[0].short: true, ranked[1].short: true, ranked[2].short: true}
+	if !top["sent"] {
+		t.Errorf("sent not among the worst 3 baseline models: %v", ranked[:3])
+	}
+
+	// --- Figure 15 bands (paper: +23.3% / +12.3% on Small).
+	f15, err := r.Figure15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f15.Series {
+		if s.Class != Small {
+			continue
+		}
+		switch s.Label {
+		case "baseline":
+			if m := s.Mean(); m < 1.18 || m > 1.28 {
+				t.Errorf("small baseline traffic %.3f outside [1.18,1.28] (paper 1.233)", m)
+			}
+		case "tnpu":
+			if m := s.Mean(); m < 1.11 || m > 1.18 {
+				t.Errorf("small tnpu traffic %.3f outside [1.11,1.18] (paper 1.123)", m)
+			}
+		}
+	}
+
+	// --- Figure 5: embedding workloads dominate counter misses (Small).
+	f5, err := r.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	small5 := f5.Series[0]
+	idx := map[string]int{}
+	for i, m := range small5.Models {
+		idx[m] = i
+	}
+	if small5.Values[idx["sent"]] < 3*small5.Values[idx["goo"]] {
+		t.Errorf("sent miss rate %.3f not well above goo %.3f", small5.Values[idx["sent"]], small5.Values[idx["goo"]])
+	}
+
+	// --- Figure 16: the baseline-vs-TNPU gap must not shrink with NPUs.
+	i1, err := r.Improvement(Small, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i3, err := r.Improvement(Small, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i3 < i1-0.01 {
+		t.Errorf("small improvement shrank with NPUs: %.3f -> %.3f", i1, i3)
+	}
+
+	// --- Figure 17: end-to-end overheads below NPU-only, TNPU ahead.
+	f17, err := r.Figure17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(f17.Series); i += 2 {
+		base, tnpu := f17.Series[i], f17.Series[i+1]
+		if tnpu.Mean() >= base.Mean() {
+			t.Errorf("e2e %s: tnpu %.3f not below baseline %.3f", base.Class, tnpu.Mean(), base.Mean())
+		}
+	}
+
+	// --- Sec IV-D: KB-scale version tables.
+	if _, avg, max, err := r.VersionStorage(Small); err != nil || avg > 4096 || max > 16384 {
+		t.Errorf("version storage out of regime: avg=%v max=%v err=%v", avg, max, err)
+	}
+}
+
+// TestEncryptOnlyIsLowerBound pins the ordering of all four schemes:
+// unsecure < encrypt-only < tnpu < baseline in execution time.
+func TestEncryptOnlyIsLowerBound(t *testing.T) {
+	r := NewRunner("res")
+	var cycles []uint64
+	for _, s := range memprot.AllSchemes() {
+		res, err := r.Run("res", Small, s, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles = append(cycles, res.Cycles)
+	}
+	unsec, base, tnpu, enc := cycles[0], cycles[1], cycles[2], cycles[3]
+	if !(unsec < enc && enc < tnpu && tnpu < base) {
+		t.Errorf("scheme ordering violated: unsec=%d enc=%d tnpu=%d base=%d", unsec, enc, tnpu, base)
+	}
+}

@@ -1,0 +1,155 @@
+// Package exp is the experiment harness: one runner per table and figure
+// of the paper's evaluation (Sec. V), producing the same rows/series the
+// paper reports. Results are normalized exactly as in the paper — to the
+// unsecure configuration with the same NPU count — so shapes are directly
+// comparable even though absolute cycles come from our simulator.
+package exp
+
+import (
+	"fmt"
+
+	"tnpu/internal/compiler"
+	"tnpu/internal/e2e"
+	"tnpu/internal/memprot"
+	"tnpu/internal/model"
+	"tnpu/internal/multinpu"
+	"tnpu/internal/npu"
+)
+
+// Class selects one of the two Table II NPU configurations.
+type Class int
+
+// The two evaluated NPU classes.
+const (
+	Small Class = iota
+	Large
+)
+
+// String names the class as in the figures.
+func (c Class) String() string {
+	if c == Small {
+		return "small"
+	}
+	return "large"
+}
+
+// Config returns the hardware configuration for the class.
+func (c Class) Config() npu.Config {
+	if c == Small {
+		return npu.SmallNPU()
+	}
+	return npu.LargeNPU()
+}
+
+// Classes lists both classes in paper order.
+func Classes() []Class { return []Class{Small, Large} }
+
+// Runner caches compiled programs and simulation results so the figure
+// generators can share work. Not safe for concurrent use.
+type Runner struct {
+	// Models restricts the workload set (defaults to all 14; tests use
+	// subsets).
+	Models []string
+
+	progs map[progKey]*compiler.Program
+	runs  map[runKey]multinpu.Result
+	e2es  map[e2eKey]e2e.Result
+}
+
+type progKey struct {
+	short string
+	class Class
+}
+
+type runKey struct {
+	short  string
+	class  Class
+	scheme memprot.Scheme
+	count  int
+}
+
+type e2eKey struct {
+	short  string
+	class  Class
+	scheme memprot.Scheme
+}
+
+// NewRunner creates a runner over the given workloads (nil = all 14).
+func NewRunner(models ...string) *Runner {
+	if len(models) == 0 {
+		models = model.ShortNames()
+	}
+	return &Runner{
+		Models: models,
+		progs:  make(map[progKey]*compiler.Program),
+		runs:   make(map[runKey]multinpu.Result),
+		e2es:   make(map[e2eKey]e2e.Result),
+	}
+}
+
+// Program compiles (once) a model for a class.
+func (r *Runner) Program(short string, class Class) (*compiler.Program, error) {
+	k := progKey{short, class}
+	if p, ok := r.progs[k]; ok {
+		return p, nil
+	}
+	m, err := model.ByShort(short)
+	if err != nil {
+		return nil, err
+	}
+	p, err := compiler.Compile(m, class.Config().CompilerConfig())
+	if err != nil {
+		return nil, err
+	}
+	r.progs[k] = p
+	return p, nil
+}
+
+// Run simulates (once) a model under a scheme with count NPUs.
+func (r *Runner) Run(short string, class Class, scheme memprot.Scheme, count int) (multinpu.Result, error) {
+	k := runKey{short, class, scheme, count}
+	if res, ok := r.runs[k]; ok {
+		return res, nil
+	}
+	p, err := r.Program(short, class)
+	if err != nil {
+		return multinpu.Result{}, err
+	}
+	res, err := multinpu.Run(p, scheme, class.Config(), count)
+	if err != nil {
+		return multinpu.Result{}, fmt.Errorf("exp: %s/%s/%s x%d: %w", short, class, scheme, count, err)
+	}
+	r.runs[k] = res
+	return res, nil
+}
+
+// EndToEnd simulates (once) the Sec. V-D flow.
+func (r *Runner) EndToEnd(short string, class Class, scheme memprot.Scheme) (e2e.Result, error) {
+	k := e2eKey{short, class, scheme}
+	if res, ok := r.e2es[k]; ok {
+		return res, nil
+	}
+	p, err := r.Program(short, class)
+	if err != nil {
+		return e2e.Result{}, err
+	}
+	res, err := e2e.Run(p, scheme, class.Config())
+	if err != nil {
+		return e2e.Result{}, err
+	}
+	r.e2es[k] = res
+	return res, nil
+}
+
+// normalized returns scheme cycles / unsecure cycles for one cell.
+func (r *Runner) normalized(short string, class Class, scheme memprot.Scheme, count int) (float64, error) {
+	base, err := r.Run(short, class, memprot.Unsecure, count)
+	if err != nil {
+		return 0, err
+	}
+	v, err := r.Run(short, class, scheme, count)
+	if err != nil {
+		return 0, err
+	}
+	return float64(v.Cycles) / float64(base.Cycles), nil
+}

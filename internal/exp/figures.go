@@ -1,0 +1,254 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"tnpu/internal/hwcost"
+	"tnpu/internal/memprot"
+	"tnpu/internal/model"
+	"tnpu/internal/stats"
+)
+
+// Series is one figure's data: per-model values for one (class, label)
+// line, plus the arithmetic mean the paper quotes.
+type Series struct {
+	Class  Class
+	Label  string
+	Models []string
+	Values []float64
+}
+
+// Mean returns the arithmetic mean (the paper reports averages).
+func (s Series) Mean() float64 { return stats.Mean(s.Values) }
+
+// Figure is a titled collection of series with a table rendering.
+type Figure struct {
+	ID     string
+	Title  string
+	Series []Series
+}
+
+// String renders the figure as an aligned table with a mean column.
+func (f Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", f.ID, f.Title)
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	header := append([]string{"series"}, f.Series[0].Models...)
+	header = append(header, "mean")
+	tb := stats.NewTable(header...)
+	for _, s := range f.Series {
+		row := []string{fmt.Sprintf("%s/%s", s.Class, s.Label)}
+		for _, v := range s.Values {
+			row = append(row, stats.F(v))
+		}
+		row = append(row, stats.F(s.Mean()))
+		tb.AddRow(row...)
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}
+
+// seriesOver builds one series by evaluating fn per model.
+func (r *Runner) seriesOver(class Class, label string, fn func(short string) (float64, error)) (Series, error) {
+	s := Series{Class: class, Label: label, Models: r.Models}
+	for _, short := range r.Models {
+		v, err := fn(short)
+		if err != nil {
+			return s, err
+		}
+		s.Values = append(s.Values, v)
+	}
+	return s, nil
+}
+
+// Figure4 reproduces the motivation figure: execution time of the
+// tree-based baseline normalized to unsecure runs, both NPU classes.
+func (r *Runner) Figure4() (Figure, error) {
+	f := Figure{ID: "Figure 4", Title: "Tree-based protection overhead (normalized execution time)"}
+	for _, class := range Classes() {
+		s, err := r.seriesOver(class, "baseline", func(short string) (float64, error) {
+			return r.normalized(short, class, memprot.Baseline, 1)
+		})
+		if err != nil {
+			return f, err
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f, nil
+}
+
+// Figure5 reproduces the counter-cache miss-rate figure.
+func (r *Runner) Figure5() (Figure, error) {
+	f := Figure{ID: "Figure 5", Title: "Counter cache miss rates (tree-based baseline)"}
+	for _, class := range Classes() {
+		s, err := r.seriesOver(class, "miss-rate", func(short string) (float64, error) {
+			res, err := r.Run(short, class, memprot.Baseline, 1)
+			if err != nil {
+				return 0, err
+			}
+			return res.Counter.MissRate(), nil
+		})
+		if err != nil {
+			return f, err
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f, nil
+}
+
+// Figure14 reproduces the headline result: execution times of unsecure,
+// baseline, and TNPU, normalized to unsecure.
+func (r *Runner) Figure14() (Figure, error) {
+	f := Figure{ID: "Figure 14", Title: "Execution time normalized to unsecure (1 NPU)"}
+	for _, class := range Classes() {
+		for _, scheme := range []memprot.Scheme{memprot.Baseline, memprot.TreeLess} {
+			scheme := scheme
+			s, err := r.seriesOver(class, scheme.String(), func(short string) (float64, error) {
+				return r.normalized(short, class, scheme, 1)
+			})
+			if err != nil {
+				return f, err
+			}
+			f.Series = append(f.Series, s)
+		}
+	}
+	return f, nil
+}
+
+// Figure15 reproduces the traffic figure: total data volume normalized to
+// the unsecure run.
+func (r *Runner) Figure15() (Figure, error) {
+	f := Figure{ID: "Figure 15", Title: "Memory traffic normalized to unsecure"}
+	for _, class := range Classes() {
+		for _, scheme := range []memprot.Scheme{memprot.Baseline, memprot.TreeLess} {
+			scheme := scheme
+			s, err := r.seriesOver(class, scheme.String(), func(short string) (float64, error) {
+				u, err := r.Run(short, class, memprot.Unsecure, 1)
+				if err != nil {
+					return 0, err
+				}
+				v, err := r.Run(short, class, scheme, 1)
+				if err != nil {
+					return 0, err
+				}
+				return float64(v.Traffic.Total()) / float64(u.Traffic.Total()), nil
+			})
+			if err != nil {
+				return f, err
+			}
+			f.Series = append(f.Series, s)
+		}
+	}
+	return f, nil
+}
+
+// Figure16 reproduces the scalability study: 1–3 NPUs, normalized to the
+// unsecure run with the same NPU count.
+func (r *Runner) Figure16() (Figure, error) {
+	f := Figure{ID: "Figure 16", Title: "Execution time vs NPU count (normalized to same-count unsecure)"}
+	for _, class := range Classes() {
+		for count := 1; count <= 3; count++ {
+			for _, scheme := range []memprot.Scheme{memprot.Baseline, memprot.TreeLess} {
+				scheme, count := scheme, count
+				s, err := r.seriesOver(class, fmt.Sprintf("%s x%d", scheme, count), func(short string) (float64, error) {
+					return r.normalized(short, class, scheme, count)
+				})
+				if err != nil {
+					return f, err
+				}
+				f.Series = append(f.Series, s)
+			}
+		}
+	}
+	return f, nil
+}
+
+// Figure17 reproduces the end-to-end latency figure.
+func (r *Runner) Figure17() (Figure, error) {
+	f := Figure{ID: "Figure 17", Title: "End-to-end latency normalized to unsecure"}
+	for _, class := range Classes() {
+		for _, scheme := range []memprot.Scheme{memprot.Baseline, memprot.TreeLess} {
+			scheme := scheme
+			s, err := r.seriesOver(class, scheme.String(), func(short string) (float64, error) {
+				u, err := r.EndToEnd(short, class, memprot.Unsecure)
+				if err != nil {
+					return 0, err
+				}
+				v, err := r.EndToEnd(short, class, scheme)
+				if err != nil {
+					return 0, err
+				}
+				return float64(v.Total) / float64(u.Total), nil
+			})
+			if err != nil {
+				return f, err
+			}
+			f.Series = append(f.Series, s)
+		}
+	}
+	return f, nil
+}
+
+// Table3 reproduces the benchmark table: our computed footprints against
+// the paper's.
+func (r *Runner) Table3() string {
+	tb := stats.NewTable("model", "footprint(ours)", "footprint(paper)", "ratio")
+	for _, short := range r.Models {
+		m, err := model.ByShort(short)
+		if err != nil {
+			continue
+		}
+		ours := float64(m.Footprint()) / (1 << 20)
+		paper := model.PaperFootprintsMB[short]
+		tb.AddRow(short, fmt.Sprintf("%.1fMB", ours), fmt.Sprintf("%.1fMB", paper), stats.F(ours/paper))
+	}
+	return "Table III: benchmark memory footprints\n" + tb.String()
+}
+
+// VersionStorage reproduces the Sec. IV-D storage analysis: peak
+// version-table bytes per workload, with average and maximum.
+func (r *Runner) VersionStorage(class Class) (perModel map[string]int, avg float64, max int, err error) {
+	perModel = make(map[string]int)
+	sum := 0
+	for _, short := range r.Models {
+		p, err := r.Program(short, class)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		peak := p.Table.PeakStorageBytes()
+		perModel[short] = peak
+		sum += peak
+		if peak > max {
+			max = peak
+		}
+	}
+	return perModel, float64(sum) / float64(len(r.Models)), max, nil
+}
+
+// HardwareCost reproduces Sec. V-E.
+func (r *Runner) HardwareCost() hwcost.Summary {
+	return hwcost.Summarize(hwcost.TNPUEngine())
+}
+
+// Improvement returns the paper's headline metric: the mean reduction of
+// execution time from baseline to TNPU at the given NPU count, per class
+// ("improves the performance of the baseline by X%").
+func (r *Runner) Improvement(class Class, count int) (float64, error) {
+	var base, tnpu []float64
+	for _, short := range r.Models {
+		b, err := r.normalized(short, class, memprot.Baseline, count)
+		if err != nil {
+			return 0, err
+		}
+		tn, err := r.normalized(short, class, memprot.TreeLess, count)
+		if err != nil {
+			return 0, err
+		}
+		base = append(base, b)
+		tnpu = append(tnpu, tn)
+	}
+	return 1 - stats.Mean(tnpu)/stats.Mean(base), nil
+}

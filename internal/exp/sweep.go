@@ -1,0 +1,201 @@
+package exp
+
+import (
+	"fmt"
+
+	"tnpu/internal/compiler"
+	"tnpu/internal/dram"
+	"tnpu/internal/memprot"
+	"tnpu/internal/model"
+	"tnpu/internal/npu"
+	"tnpu/internal/stats"
+)
+
+// SweepPoint is one configuration of a sensitivity sweep.
+type SweepPoint struct {
+	Label string
+	// Normalized is scheme/unsecure at this configuration.
+	Baseline, TNPU float64
+}
+
+// Sweep holds a one-dimensional sensitivity study: how the two protection
+// schemes' overheads move as one hardware parameter scales. These go
+// beyond the paper's fixed Table II points and probe where its conclusion
+// (tree-less wins, and wins more when metadata pressure rises) holds.
+type Sweep struct {
+	Name   string
+	Model  string
+	Points []SweepPoint
+}
+
+// String renders the sweep as a table.
+func (s Sweep) String() string {
+	tb := stats.NewTable(s.Name, "baseline", "tnpu", "gap")
+	for _, p := range s.Points {
+		tb.AddRow(p.Label, stats.F(p.Baseline), stats.F(p.TNPU), stats.F(p.Baseline-p.TNPU))
+	}
+	return fmt.Sprintf("Sensitivity: %s on %q\n%s", s.Name, s.Model, tb.String())
+}
+
+// runPoint simulates one (config, scheme) pair from scratch.
+func runPoint(short string, cfg npu.Config, scheme memprot.Scheme) (uint64, error) {
+	m, err := model.ByShort(short)
+	if err != nil {
+		return 0, err
+	}
+	prog, err := compiler.Compile(m, cfg.CompilerConfig())
+	if err != nil {
+		return 0, err
+	}
+	bus := dram.NewBus(cfg.Mem)
+	eng, err := memprot.New(scheme, memprot.DefaultConfig(bus))
+	if err != nil {
+		return 0, err
+	}
+	mach := npu.NewMachine(prog, eng)
+	mach.Run()
+	return mach.Cycles(), nil
+}
+
+// sweepOver evaluates both schemes at each configuration.
+func sweepOver(name, short string, points []struct {
+	label string
+	cfg   npu.Config
+}) (Sweep, error) {
+	s := Sweep{Name: name, Model: short}
+	for _, p := range points {
+		u, err := runPoint(short, p.cfg, memprot.Unsecure)
+		if err != nil {
+			return s, err
+		}
+		b, err := runPoint(short, p.cfg, memprot.Baseline)
+		if err != nil {
+			return s, err
+		}
+		tl, err := runPoint(short, p.cfg, memprot.TreeLess)
+		if err != nil {
+			return s, err
+		}
+		s.Points = append(s.Points, SweepPoint{
+			Label:    p.label,
+			Baseline: float64(b) / float64(u),
+			TNPU:     float64(tl) / float64(u),
+		})
+	}
+	return s, nil
+}
+
+// BandwidthSweep scales the Small NPU's memory bandwidth: the baseline's
+// stall-bound pathologies worsen as the bus gets faster relative to the
+// fixed DRAM latency; TNPU tracks the (shrinking) traffic overhead.
+func BandwidthSweep(short string) (Sweep, error) {
+	var points []struct {
+		label string
+		cfg   npu.Config
+	}
+	for _, mult := range []float64{0.5, 1, 2, 4} {
+		cfg := npu.SmallNPU()
+		cfg.Mem.BandwidthBytesPerSec = uint64(float64(cfg.Mem.BandwidthBytesPerSec) * mult)
+		points = append(points, struct {
+			label string
+			cfg   npu.Config
+		}{fmt.Sprintf("%.1fx BW", mult), cfg})
+	}
+	return sweepOver("memory bandwidth", short, points)
+}
+
+// SPMSweep scales the scratchpad: bigger tiles mean fewer re-reads and
+// fewer counter fetches (the paper's Large-vs-Small observation).
+func SPMSweep(short string) (Sweep, error) {
+	var points []struct {
+		label string
+		cfg   npu.Config
+	}
+	for _, kb := range []uint64{128, 256, 480, 1024, 2048} {
+		cfg := npu.SmallNPU()
+		cfg.SPM.CapacityBytes = kb << 10
+		points = append(points, struct {
+			label string
+			cfg   npu.Config
+		}{fmt.Sprintf("%dKB SPM", kb), cfg})
+	}
+	return sweepOver("scratchpad capacity", short, points)
+}
+
+// LatencySweep scales the DRAM access latency, the cost every serialized
+// counter-tree level pays and TNPU avoids.
+func LatencySweep(short string) (Sweep, error) {
+	var points []struct {
+		label string
+		cfg   npu.Config
+	}
+	for _, lat := range []uint64{50, 100, 200, 400} {
+		cfg := npu.SmallNPU()
+		cfg.Mem.LatencyCycles = lat
+		points = append(points, struct {
+			label string
+			cfg   npu.Config
+		}{fmt.Sprintf("%d-cycle DRAM", lat), cfg})
+	}
+	return sweepOver("DRAM latency", short, points)
+}
+
+// LayerShare is one layer's slice of the execution under each scheme.
+type LayerShare struct {
+	Layer    string
+	Unsecure uint64
+	Baseline uint64
+	TNPU     uint64
+}
+
+// LayerBreakdown attributes execution time to model layers under each
+// scheme (successive differences of layer completion times): the analysis
+// behind the paper's observation that the embedding layers are where
+// sent/tf lose their time under the tree-based baseline.
+func LayerBreakdown(short string, class Class) ([]LayerShare, error) {
+	m, err := model.ByShort(short)
+	if err != nil {
+		return nil, err
+	}
+	cfg := class.Config()
+	prog, err := compiler.Compile(m, cfg.CompilerConfig())
+	if err != nil {
+		return nil, err
+	}
+	spansFor := func(scheme memprot.Scheme) ([]uint64, error) {
+		bus := dram.NewBus(cfg.Mem)
+		eng, err := memprot.New(scheme, memprot.DefaultConfig(bus))
+		if err != nil {
+			return nil, err
+		}
+		mach := npu.NewMachine(prog, eng)
+		mach.Run()
+		ends := mach.LayerSpans()
+		spans := make([]uint64, len(ends))
+		var prev uint64
+		for i, end := range ends {
+			if end > prev {
+				spans[i] = end - prev
+				prev = end
+			}
+		}
+		return spans, nil
+	}
+	u, err := spansFor(memprot.Unsecure)
+	if err != nil {
+		return nil, err
+	}
+	b, err := spansFor(memprot.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	tl, err := spansFor(memprot.TreeLess)
+	if err != nil {
+		return nil, err
+	}
+	shares := make([]LayerShare, len(m.Layers))
+	for i := range m.Layers {
+		shares[i] = LayerShare{Layer: m.Layers[i].Name, Unsecure: u[i], Baseline: b[i], TNPU: tl[i]}
+	}
+	return shares, nil
+}

@@ -1,0 +1,75 @@
+package hwcost
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTNPUMatchesPaper(t *testing.T) {
+	s := Summarize(TNPUEngine())
+	// Sec. V-E: 0.03632 mm^2, 0.035% of Exynos 990, 17.73 mW.
+	if math.Abs(s.AreaMM2-0.03632) > 0.0005 {
+		t.Errorf("area = %.5f mm^2, paper reports 0.03632", s.AreaMM2)
+	}
+	if math.Abs(100*s.SoCFraction-0.035) > 0.002 {
+		t.Errorf("SoC fraction = %.4f%%, paper reports 0.035%%", 100*s.SoCFraction)
+	}
+	if math.Abs(s.PowerMW-17.73) > 0.3 {
+		t.Errorf("power = %.2f mW, paper reports 17.73", s.PowerMW)
+	}
+}
+
+func TestComponentTotals(t *testing.T) {
+	c := Component{Count: 3, AreaMM2: 0.01, PowerMW: 2}
+	if math.Abs(c.TotalArea()-0.03) > 1e-12 || math.Abs(c.TotalPower()-6) > 1e-12 {
+		t.Error("component totals wrong")
+	}
+}
+
+func TestBaselineCarriesMoreSRAM(t *testing.T) {
+	var tnpuSRAM, baseSRAM float64
+	for _, c := range TNPUEngine() {
+		if strings.Contains(c.Name, "cache") {
+			tnpuSRAM += c.TotalArea()
+		}
+	}
+	for _, c := range BaselineEngine() {
+		if strings.Contains(c.Name, "cache") {
+			baseSRAM += c.TotalArea()
+		}
+	}
+	// Tree-less drops the 4KB counter + 4KB hash caches.
+	if baseSRAM <= tnpuSRAM {
+		t.Errorf("baseline SRAM %.5f not above tree-less %.5f", baseSRAM, tnpuSRAM)
+	}
+	if math.Abs((baseSRAM-tnpuSRAM)-8*sramAreaPerKB) > 1e-9 {
+		t.Errorf("SRAM delta should be exactly 8KB worth")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize(TNPUEngine())
+	out := s.String()
+	for _, want := range []string{"mm^2", "mW", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary %q missing %q", out, want)
+		}
+	}
+}
+
+func TestInferenceEnergy(t *testing.T) {
+	s := Summarize(TNPUEngine())
+	// 100MB of traffic at 20pJ/B = 2mJ; engine at ~18mW for 10ms = 0.18mJ.
+	mj := InferenceEnergy(100<<20, 27_500_000, 2_750_000_000, s)
+	if mj < 1.5 || mj > 3.5 {
+		t.Errorf("energy %.3f mJ outside sanity band", mj)
+	}
+	// More traffic means more energy, monotonically.
+	if InferenceEnergy(200<<20, 27_500_000, 2_750_000_000, s) <= mj {
+		t.Error("energy not monotone in traffic")
+	}
+	if InferenceEnergy(0, 0, 1, s) != 0 {
+		t.Error("zero run should cost zero")
+	}
+}

@@ -1,0 +1,51 @@
+package integrity
+
+import "testing"
+
+// Micro-benchmarks of the functional counter tree: the verification and
+// update work a software MEE equivalent performs per block.
+
+func BenchmarkTreeVerify(b *testing.B) {
+	tr := NewCounterTree(16<<20, macKey)
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Counter(uint64(i) % 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeIncrement(b *testing.B) {
+	tr := NewCounterTree(16<<20, macKey)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tr.Increment(uint64(i) % 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeMemoryWriteRead(b *testing.B) {
+	m, _ := NewTreeMemory(1<<20, encKey, macKey)
+	block := make([]byte, 64)
+	b.SetBytes(128)
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i%512) * 64
+		if err := m.WriteBlock(addr, block); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.ReadBlock(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSplitCounterEncode(b *testing.B) {
+	var l SplitCounterLine
+	l.Major = 42
+	for i := range l.Minors {
+		l.Minors[i] = uint8(i)
+	}
+	for i := 0; i < b.N; i++ {
+		raw := l.Encode()
+		l = DecodeSplitCounterLine(raw)
+	}
+}

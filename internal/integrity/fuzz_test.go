@@ -1,0 +1,41 @@
+package integrity
+
+import "testing"
+
+// FuzzSplitCounterCodec checks the 7-bit packing against arbitrary lines.
+func FuzzSplitCounterCodec(f *testing.F) {
+	f.Add(uint64(0), []byte{})
+	f.Add(uint64(1<<50), []byte{1, 2, 3, 127, 126, 0, 64})
+	f.Fuzz(func(t *testing.T, major uint64, minors []byte) {
+		var l SplitCounterLine
+		l.Major = major
+		for i := 0; i < len(minors) && i < Arity; i++ {
+			l.Minors[i] = minors[i] % (1 << 7)
+		}
+		if got := DecodeSplitCounterLine(l.Encode()); got != l {
+			t.Fatalf("codec round trip: %+v != %+v", got, l)
+		}
+	})
+}
+
+// FuzzTreeIncrementSequences applies arbitrary increment sequences and
+// requires the whole tree to stay verifiable.
+func FuzzTreeIncrementSequences(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 300 {
+			ops = ops[:300]
+		}
+		tr := NewCounterTree(16<<10, macKey) // 256 blocks
+		for _, op := range ops {
+			if _, _, err := tr.Increment(uint64(op)); err != nil {
+				t.Fatalf("increment: %v", err)
+			}
+		}
+		for b := uint64(0); b < 256; b += 37 {
+			if _, err := tr.Counter(b); err != nil {
+				t.Fatalf("verify after sequence: %v", err)
+			}
+		}
+	})
+}

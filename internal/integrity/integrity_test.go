@@ -1,0 +1,262 @@
+package integrity
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+var macKey = []byte("integrity-test-key-0123456789abc")
+
+func TestSplitCounterBasics(t *testing.T) {
+	var l SplitCounterLine
+	if l.Counter(0) != 0 {
+		t.Fatal("fresh counter not zero")
+	}
+	c, over := l.Increment(3)
+	if c != 1 || over {
+		t.Fatalf("first increment = %d, overflow=%v", c, over)
+	}
+	if l.Counter(3) != 1 || l.Counter(2) != 0 {
+		t.Fatal("increment leaked to other slot")
+	}
+}
+
+func TestSplitCounterOverflow(t *testing.T) {
+	var l SplitCounterLine
+	l.Increment(5) // slot 5 = 1, to check reset
+	var over bool
+	var c uint64
+	for i := 0; i < minorLimit; i++ {
+		c, over = l.Increment(0)
+	}
+	if !over {
+		t.Fatal("expected minor overflow after 128 increments")
+	}
+	// Major bumped to 1, minors reset: counter = 1<<7.
+	if c != minorLimit {
+		t.Fatalf("post-overflow counter = %d, want %d", c, minorLimit)
+	}
+	if l.Counter(5) != minorLimit {
+		t.Fatal("sibling minor must reset on overflow (shares new major)")
+	}
+	// Monotonicity: post-overflow counter exceeds all pre-overflow values.
+	if l.Counter(0) <= minorLimit-1 {
+		t.Fatal("counter went backwards across overflow")
+	}
+}
+
+func TestSplitCounterEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(major uint64, minors [Arity]uint8) bool {
+		var l SplitCounterLine
+		l.Major = major
+		for i, m := range minors {
+			l.Minors[i] = m % minorLimit
+		}
+		got := DecodeSplitCounterLine(l.Encode())
+		return got == l
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitCounterSlotRangePanics(t *testing.T) {
+	var l SplitCounterLine
+	for _, fn := range []func(){
+		func() { l.Counter(-1) },
+		func() { l.Counter(Arity) },
+		func() { l.Increment(Arity) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGeometryLevels(t *testing.T) {
+	cases := []struct {
+		dataBytes uint64
+		levels    int
+		l0        uint64
+	}{
+		{4 << 10, 1, 1},       // 4KB: 64 blocks -> 1 counter line
+		{256 << 10, 1, 64},    // 256KB: 64 lines -> root covers them? 64 lines -> next level 1 => levels=1
+		{16 << 20, 2, 4096},   // 16MB: 4096 lines, 64 L1, root
+		{75 << 20, 3, 19200},  // ~75MB footprint like tf
+		{128 << 20, 3, 32768}, // SGX-like PRM
+	}
+	for _, c := range cases {
+		g := NewGeometry(c.dataBytes)
+		if g.Levels() != c.levels {
+			t.Errorf("geometry(%d): levels = %d, want %d", c.dataBytes, g.Levels(), c.levels)
+		}
+		if g.NodesAt(0) != c.l0 {
+			t.Errorf("geometry(%d): L0 nodes = %d, want %d", c.dataBytes, g.NodesAt(0), c.l0)
+		}
+	}
+}
+
+func TestGeometryShrinksByArity(t *testing.T) {
+	g := NewGeometry(64 << 20)
+	for l := 1; l < g.Levels(); l++ {
+		lo, hi := g.NodesAt(l), g.NodesAt(l-1)
+		if lo != (hi+Arity-1)/Arity {
+			t.Errorf("level %d has %d nodes, want ceil(%d/64)", l, lo, hi)
+		}
+	}
+	if g.NodesAt(g.Levels()-1) > Arity {
+		t.Error("top DRAM level must be coverable by the single on-chip root")
+	}
+}
+
+func TestGeometryAddressesDisjoint(t *testing.T) {
+	g := NewGeometry(16 << 20)
+	seen := map[uint64]bool{}
+	for l := 0; l < g.Levels(); l++ {
+		for i := uint64(0); i < g.NodesAt(l); i += 7 {
+			a := g.NodeAddr(l, i)
+			if seen[a] {
+				t.Fatalf("duplicate node address %#x", a)
+			}
+			seen[a] = true
+		}
+	}
+	if MACAddr(0) == g.NodeAddr(0, 0) {
+		t.Error("MAC region must not alias counter region")
+	}
+}
+
+func TestMACAddrPacking(t *testing.T) {
+	// 8 consecutive blocks share one 64B MAC line.
+	line0 := MACAddr(0) / 64
+	for b := uint64(1); b < 8; b++ {
+		if MACAddr(b*64)/64 != line0 {
+			t.Errorf("block %d not in first MAC line", b)
+		}
+	}
+	if MACAddr(8*64)/64 == line0 {
+		t.Error("block 8 should start a new MAC line")
+	}
+}
+
+func TestTreeCounterIncrementAndVerify(t *testing.T) {
+	tr := NewCounterTree(1<<20, macKey)
+	c, err := tr.Counter(5)
+	if err != nil || c != 0 {
+		t.Fatalf("fresh counter = %d, %v", c, err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := tr.Increment(5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c, err = tr.Counter(5); err != nil || c != 3 {
+		t.Fatalf("counter after 3 increments = %d, %v", c, err)
+	}
+	// Neighbouring block in same line unaffected.
+	if c, _ = tr.Counter(6); c != 0 {
+		t.Fatalf("sibling counter = %d, want 0", c)
+	}
+}
+
+func TestTreeDetectsCounterTamper(t *testing.T) {
+	tr := NewCounterTree(1<<20, macKey)
+	tr.Increment(0)
+	tr.CorruptNode(0, 0, 70) // flip a minor bit in the leaf line
+	if _, err := tr.Counter(0); !errors.Is(err, ErrTreeIntegrity) {
+		t.Fatalf("tampered counter must fail verification, got %v", err)
+	}
+}
+
+func TestTreeDetectsCounterReplay(t *testing.T) {
+	tr := NewCounterTree(1<<20, macKey)
+	raw, mac := tr.SnapshotNode(0, 0) // counters all zero, valid MAC
+	tr.Increment(0)                   // advance; parent counter moves
+	tr.RestoreNode(0, 0, raw, mac)    // replay stale line + stale MAC
+	if _, err := tr.Counter(0); !errors.Is(err, ErrTreeIntegrity) {
+		t.Fatalf("replayed counter line must fail (parent counter advanced), got %v", err)
+	}
+}
+
+func TestTreeDetectsInnerNodeReplay(t *testing.T) {
+	tr := NewCounterTree(16<<20, macKey) // 2 levels in DRAM
+	if tr.Geometry().Levels() < 2 {
+		t.Fatal("test needs an inner level")
+	}
+	raw, mac := tr.SnapshotNode(1, 0)
+	tr.Increment(0) // bumps L1 node 0 via propagation
+	tr.RestoreNode(1, 0, raw, mac)
+	if _, err := tr.Counter(0); !errors.Is(err, ErrTreeIntegrity) {
+		t.Fatalf("replayed inner node must fail against root, got %v", err)
+	}
+}
+
+func TestTreeOverflowReencryptList(t *testing.T) {
+	tr := NewCounterTree(8<<10, macKey) // 128 blocks, 2 counter lines
+	var reenc []uint64
+	for i := 0; i < minorLimit; i++ {
+		var err error
+		_, reenc, err = tr.Increment(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(reenc) != Arity {
+		t.Fatalf("overflow must re-encrypt all %d covered blocks, got %d", Arity, len(reenc))
+	}
+	if tr.OverflowReencrypts != 1 {
+		t.Fatalf("overflow count = %d", tr.OverflowReencrypts)
+	}
+	// Tree remains verifiable after overflow maintenance.
+	if _, err := tr.Counter(0); err != nil {
+		t.Fatalf("tree broken after overflow: %v", err)
+	}
+	if _, err := tr.Counter(63); err != nil {
+		t.Fatalf("sibling verification broken after overflow: %v", err)
+	}
+}
+
+func TestTreeOutOfRange(t *testing.T) {
+	tr := NewCounterTree(4<<10, macKey)
+	if _, err := tr.Counter(1 << 20); err == nil {
+		t.Fatal("out-of-range block accepted")
+	}
+	if _, _, err := tr.Increment(1 << 20); err == nil {
+		t.Fatal("out-of-range increment accepted")
+	}
+}
+
+// Property: any sequence of increments keeps the whole tree verifiable,
+// and each block's counter equals its increment count (below overflow).
+func TestTreeConsistencyProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		tr := NewCounterTree(32<<10, macKey) // 512 blocks
+		counts := map[uint64]uint64{}
+		for _, op := range ops {
+			b := uint64(op) % 512
+			if _, _, err := tr.Increment(b); err != nil {
+				return false
+			}
+			counts[b]++
+		}
+		for b, want := range counts {
+			if want >= minorLimit {
+				continue // overflow changes the arithmetic; covered elsewhere
+			}
+			got, err := tr.Counter(b)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

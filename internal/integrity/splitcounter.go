@@ -1,0 +1,115 @@
+// Package integrity implements the baseline tree-based protection that TNPU
+// is compared against: SC-64 split counters (Yan et al., ISCA'06) and a
+// 64-arity counter integrity tree whose root never leaves the chip
+// (Fig. 1, Sec. II-B). The package provides both the functional structure
+// (real counters, real node MACs, attackable storage) and the address
+// geometry the timing model uses to drive the counter/hash caches.
+package integrity
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Arity is the tree fan-out and split-counter group size (SC-64).
+const Arity = 64
+
+// NodeBytes is the size of one counter line / tree node.
+const NodeBytes = 64
+
+// minorBits is the width of each minor counter in SC-64: 64 minors * 7 bits
+// + one 64-bit major counter = 512 bits = one 64B line.
+const minorBits = 7
+
+// minorLimit is the exclusive upper bound of a minor counter.
+const minorLimit = 1 << minorBits
+
+// SplitCounterLine is one 64-byte SC-64 line: a shared major counter plus
+// 64 per-block 7-bit minor counters. The effective counter of slot i is
+// major*128 + minor[i]. When any minor overflows, the major increments and
+// every minor resets — forcing re-encryption of all covered blocks, the
+// classic split-counter overflow cost.
+type SplitCounterLine struct {
+	Major  uint64
+	Minors [Arity]uint8
+}
+
+// Counter returns the effective encryption counter for a slot.
+func (l *SplitCounterLine) Counter(slot int) uint64 {
+	if slot < 0 || slot >= Arity {
+		panic(fmt.Sprintf("integrity: slot %d out of range", slot))
+	}
+	return l.Major<<minorBits | uint64(l.Minors[slot])
+}
+
+// Increment advances the slot's counter. It returns overflowed=true when
+// the minor wrapped, which increments the major, resets all minors, and
+// requires the caller to re-encrypt every block covered by this line.
+func (l *SplitCounterLine) Increment(slot int) (counter uint64, overflowed bool) {
+	if slot < 0 || slot >= Arity {
+		panic(fmt.Sprintf("integrity: slot %d out of range", slot))
+	}
+	l.Minors[slot]++
+	if l.Minors[slot] == minorLimit {
+		l.Major++
+		l.Minors = [Arity]uint8{}
+		return l.Counter(slot), true
+	}
+	return l.Counter(slot), false
+}
+
+// Encode packs the line into its 64-byte DRAM representation: an 8-byte
+// major followed by 64 seven-bit minors bit-packed into 56 bytes. The
+// encoding is what tree MACs are computed over, so tampering any packed
+// bit is detectable.
+func (l *SplitCounterLine) Encode() [NodeBytes]byte {
+	var out [NodeBytes]byte
+	binary.LittleEndian.PutUint64(out[0:8], l.Major)
+	bitOff := uint(64) // minors start after the major
+	for _, m := range l.Minors {
+		if m >= minorLimit {
+			panic(fmt.Sprintf("integrity: minor %d exceeds %d bits", m, minorBits))
+		}
+		putBits(out[:], bitOff, uint64(m), minorBits)
+		bitOff += minorBits
+	}
+	return out
+}
+
+// DecodeSplitCounterLine unpacks a 64-byte line.
+func DecodeSplitCounterLine(raw [NodeBytes]byte) SplitCounterLine {
+	var l SplitCounterLine
+	l.Major = binary.LittleEndian.Uint64(raw[0:8])
+	bitOff := uint(64)
+	for i := range l.Minors {
+		l.Minors[i] = uint8(getBits(raw[:], bitOff, minorBits))
+		bitOff += minorBits
+	}
+	return l
+}
+
+// putBits writes the low width bits of v at bit offset off (little-endian
+// bit order within the byte stream).
+func putBits(buf []byte, off uint, v uint64, width uint) {
+	for i := uint(0); i < width; i++ {
+		bit := (v >> i) & 1
+		idx := off + i
+		if bit != 0 {
+			buf[idx/8] |= 1 << (idx % 8)
+		} else {
+			buf[idx/8] &^= 1 << (idx % 8)
+		}
+	}
+}
+
+// getBits reads width bits at bit offset off.
+func getBits(buf []byte, off, width uint) uint64 {
+	var v uint64
+	for i := uint(0); i < width; i++ {
+		idx := off + i
+		if buf[idx/8]&(1<<(idx%8)) != 0 {
+			v |= 1 << i
+		}
+	}
+	return v
+}

@@ -1,0 +1,171 @@
+package integrity
+
+import (
+	"errors"
+	"fmt"
+
+	"tnpu/internal/dram"
+	"tnpu/internal/secmem"
+)
+
+// ErrTreeIntegrity is returned when a counter line or tree node fails
+// verification against its parent — a tampered or replayed counter.
+var ErrTreeIntegrity = errors.New("integrity: counter tree verification failed")
+
+// CounterTree is the functional SC-64 counter integrity tree. Level 0
+// holds the per-block encryption counters; each higher level holds split
+// counters versioning the nodes below; the root lives on-chip and is
+// implicitly trusted. Every DRAM-resident node carries a MAC computed over
+// (packed node content, node address, parent counter), so replaying a
+// stale node/MAC pair fails because the parent counter has moved on.
+type CounterTree struct {
+	geo    Geometry
+	macEng *secmem.MACEngine
+	// levels[L][i] are DRAM-resident nodes; macs mirrors them.
+	levels [][]SplitCounterLine
+	macs   [][][secmem.MACBytes]byte
+	root   SplitCounterLine // on-chip, not attackable
+
+	// CounterIncrements and OverflowReencrypts count update work for
+	// tests and the timing model's overflow accounting.
+	CounterIncrements  uint64
+	OverflowReencrypts uint64
+}
+
+// NewCounterTree builds a zeroed tree over dataBytes using macKey for node
+// MACs. All counters start at zero with valid MACs.
+func NewCounterTree(dataBytes uint64, macKey []byte) *CounterTree {
+	geo := NewGeometry(dataBytes)
+	t := &CounterTree{geo: geo, macEng: secmem.NewMACEngine(macKey)}
+	t.levels = make([][]SplitCounterLine, geo.Levels())
+	t.macs = make([][][secmem.MACBytes]byte, geo.Levels())
+	for l := 0; l < geo.Levels(); l++ {
+		n := geo.NodesAt(l)
+		t.levels[l] = make([]SplitCounterLine, n)
+		t.macs[l] = make([][secmem.MACBytes]byte, n)
+	}
+	for l := 0; l < geo.Levels(); l++ {
+		for i := range t.levels[l] {
+			t.refreshMAC(l, uint64(i))
+		}
+	}
+	return t
+}
+
+// Geometry exposes the tree shape.
+func (t *CounterTree) Geometry() Geometry { return t.geo }
+
+// parentCounter returns the current counter versioning node (level, idx).
+func (t *CounterTree) parentCounter(level int, idx uint64) uint64 {
+	pIdx, slot := t.geo.Parent(idx)
+	if level+1 >= t.geo.Levels() {
+		return t.root.Counter(slot)
+	}
+	return t.levels[level+1][pIdx].Counter(slot)
+}
+
+// refreshMAC recomputes the stored MAC of node (level, idx) from its
+// current content and parent counter.
+func (t *CounterTree) refreshMAC(level int, idx uint64) {
+	raw := t.levels[level][idx].Encode()
+	t.macs[level][idx] = t.macEng.MAC(raw[:], t.geo.NodeAddr(level, idx), t.parentCounter(level, idx))
+}
+
+// verifyNode checks one node's MAC against its parent counter.
+func (t *CounterTree) verifyNode(level int, idx uint64) error {
+	raw := t.levels[level][idx].Encode()
+	if !t.macEng.Verify(raw[:], t.geo.NodeAddr(level, idx), t.parentCounter(level, idx), t.macs[level][idx]) {
+		return fmt.Errorf("%w: node level %d index %d", ErrTreeIntegrity, level, idx)
+	}
+	return nil
+}
+
+// Counter verifies the chain from the covering counter line up to the root
+// and returns the effective encryption counter for data block blockIdx.
+func (t *CounterTree) Counter(blockIdx uint64) (uint64, error) {
+	lineIdx, slot := t.geo.CounterIndex(blockIdx)
+	if lineIdx >= t.geo.NodesAt(0) {
+		return 0, fmt.Errorf("integrity: block %d outside protected region", blockIdx)
+	}
+	idx := lineIdx
+	for l := 0; l < t.geo.Levels(); l++ {
+		if err := t.verifyNode(l, idx); err != nil {
+			return 0, err
+		}
+		idx, _ = t.geo.Parent(idx)
+	}
+	return t.levels[0][lineIdx].Counter(slot), nil
+}
+
+// Increment advances the counter of data block blockIdx, propagating
+// version increments up the tree and refreshing node MACs. It returns the
+// new counter and, when the leaf's minor overflowed, the indices of every
+// data block covered by the leaf line — the caller must re-encrypt them.
+func (t *CounterTree) Increment(blockIdx uint64) (counter uint64, reencrypt []uint64, err error) {
+	lineIdx, slot := t.geo.CounterIndex(blockIdx)
+	if lineIdx >= t.geo.NodesAt(0) {
+		return 0, nil, fmt.Errorf("integrity: block %d outside protected region", blockIdx)
+	}
+	// The update path must start from verified state (hardware verifies
+	// the chain on the read-modify-write of the counter).
+	if _, err := t.Counter(blockIdx); err != nil {
+		return 0, nil, err
+	}
+	t.CounterIncrements++
+
+	counter, overflowed := t.levels[0][lineIdx].Increment(slot)
+	if overflowed {
+		t.OverflowReencrypts++
+		base := lineIdx * Arity
+		maxBlock := (t.geo.DataBytes() + dram.BlockBytes - 1) / dram.BlockBytes
+		for s := uint64(0); s < Arity && base+s < maxBlock; s++ {
+			reencrypt = append(reencrypt, base+s)
+		}
+	}
+
+	// Propagate: each ancestor's slot counter increments (the child node
+	// changed), then the child's MAC is refreshed under the new counter.
+	idx := lineIdx
+	for l := 0; l < t.geo.Levels(); l++ {
+		pIdx, pSlot := t.geo.Parent(idx)
+		var parentOverflow bool
+		if l+1 >= t.geo.Levels() {
+			_, parentOverflow = t.root.Increment(pSlot)
+		} else {
+			_, parentOverflow = t.levels[l+1][pIdx].Increment(pSlot)
+		}
+		if parentOverflow {
+			// Every sibling's MAC was keyed by a minor that just reset:
+			// recompute them all (the hardware re-MACs the covered nodes).
+			first := pIdx * Arity
+			for s := uint64(0); s < Arity && first+s < t.geo.NodesAt(l); s++ {
+				t.refreshMAC(l, first+s)
+			}
+		} else {
+			t.refreshMAC(l, idx)
+		}
+		idx = pIdx
+	}
+	return counter, reencrypt, nil
+}
+
+// --- Physical-attacker surface ---
+
+// SnapshotNode captures a node's packed content and MAC as visible in DRAM.
+func (t *CounterTree) SnapshotNode(level int, idx uint64) (raw [NodeBytes]byte, mac [secmem.MACBytes]byte) {
+	return t.levels[level][idx].Encode(), t.macs[level][idx]
+}
+
+// RestoreNode overwrites a node's DRAM content and MAC with a snapshot — a
+// counter replay attack.
+func (t *CounterTree) RestoreNode(level int, idx uint64, raw [NodeBytes]byte, mac [secmem.MACBytes]byte) {
+	t.levels[level][idx] = DecodeSplitCounterLine(raw)
+	t.macs[level][idx] = mac
+}
+
+// CorruptNode flips one bit of a node's packed content.
+func (t *CounterTree) CorruptNode(level int, idx uint64, bit uint) {
+	raw := t.levels[level][idx].Encode()
+	raw[bit/8%NodeBytes] ^= 1 << (bit % 8)
+	t.levels[level][idx] = DecodeSplitCounterLine(raw)
+}

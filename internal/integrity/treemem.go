@@ -1,0 +1,171 @@
+package integrity
+
+import (
+	"fmt"
+
+	"tnpu/internal/dram"
+	"tnpu/internal/secmem"
+)
+
+// TreeMemory is the functional model of the baseline tree-protected DRAM:
+// counter-mode encryption with SC-64 counters, a counter integrity tree for
+// freshness, and an 8-byte MAC per data block keyed by the block's current
+// counter. It is the hardware-managed scheme the paper's Baseline
+// configuration models (Sec. III-B) — contrast with secmem.TreelessMemory,
+// where the version comes from software instead of a counter tree.
+type TreeMemory struct {
+	tree   *CounterTree
+	ctr    *secmem.CTREngine
+	macEng *secmem.MACEngine
+	blocks map[uint64][dram.BlockBytes]byte // ciphertext by block address
+	macs   map[uint64][secmem.MACBytes]byte // data MACs by block address
+	limit  uint64                           // protected region size
+}
+
+// NewTreeMemory creates a tree-protected region of dataBytes.
+func NewTreeMemory(dataBytes uint64, encKey, macKey []byte) (*TreeMemory, error) {
+	ctr, err := secmem.NewCTREngine(encKey)
+	if err != nil {
+		return nil, err
+	}
+	return &TreeMemory{
+		tree:   NewCounterTree(dataBytes, macKey),
+		ctr:    ctr,
+		macEng: secmem.NewMACEngine(macKey),
+		blocks: make(map[uint64][dram.BlockBytes]byte),
+		macs:   make(map[uint64][secmem.MACBytes]byte),
+		limit:  dataBytes,
+	}, nil
+}
+
+// Tree exposes the underlying counter tree (for attacks in tests).
+func (m *TreeMemory) Tree() *CounterTree { return m.tree }
+
+func (m *TreeMemory) checkAddr(addr uint64) error {
+	if addr%dram.BlockBytes != 0 {
+		return fmt.Errorf("integrity: address %#x not block aligned", addr)
+	}
+	if addr >= m.limit {
+		return fmt.Errorf("integrity: address %#x outside protected %d-byte region", addr, m.limit)
+	}
+	return nil
+}
+
+// WriteBlock increments the block's counter (verifying the tree), encrypts
+// the plaintext under the new counter, and stores ciphertext + counter-keyed
+// MAC. Split-counter overflow transparently re-encrypts sibling blocks.
+func (m *TreeMemory) WriteBlock(addr uint64, plaintext []byte) error {
+	if err := m.checkAddr(addr); err != nil {
+		return err
+	}
+	if len(plaintext) != dram.BlockBytes {
+		return fmt.Errorf("integrity: write must be one %dB block", dram.BlockBytes)
+	}
+	blockIdx := addr / dram.BlockBytes
+
+	// Remember pre-increment counters of siblings for possible overflow
+	// re-encryption: their ciphertexts were produced under the old values.
+	lineIdx, _ := m.tree.Geometry().CounterIndex(blockIdx)
+	oldLine := m.tree.levels[0][lineIdx]
+
+	counter, reencrypt, err := m.tree.Increment(blockIdx)
+	if err != nil {
+		return err
+	}
+	for _, sib := range reencrypt {
+		if sib == blockIdx {
+			continue // about to be rewritten below
+		}
+		sibAddr := sib * dram.BlockBytes
+		ct, ok := m.blocks[sibAddr]
+		if !ok {
+			continue
+		}
+		_, slot := m.tree.Geometry().CounterIndex(sib)
+		oldCounter := oldLine.Counter(slot)
+		pt := m.ctr.Apply(sibAddr, oldCounter, ct[:])
+		newCounter := m.tree.levels[0][lineIdx].Counter(slot)
+		var nct [dram.BlockBytes]byte
+		copy(nct[:], m.ctr.Apply(sibAddr, newCounter, pt))
+		m.blocks[sibAddr] = nct
+		m.macs[sibAddr] = m.macEng.MAC(nct[:], sibAddr, newCounter)
+	}
+
+	var ct [dram.BlockBytes]byte
+	copy(ct[:], m.ctr.Apply(addr, counter, plaintext))
+	m.blocks[addr] = ct
+	m.macs[addr] = m.macEng.MAC(ct[:], addr, counter)
+	return nil
+}
+
+// ReadBlock verifies the counter chain and the block MAC, then decrypts.
+func (m *TreeMemory) ReadBlock(addr uint64) ([]byte, error) {
+	if err := m.checkAddr(addr); err != nil {
+		return nil, err
+	}
+	blockIdx := addr / dram.BlockBytes
+	ct, ok := m.blocks[addr]
+	if !ok {
+		return nil, fmt.Errorf("%w: no block at %#x", secmem.ErrIntegrity, addr)
+	}
+	counter, err := m.tree.Counter(blockIdx)
+	if err != nil {
+		return nil, err
+	}
+	if !m.macEng.Verify(ct[:], addr, counter, m.macs[addr]) {
+		return nil, fmt.Errorf("%w: block %#x MAC mismatch", secmem.ErrIntegrity, addr)
+	}
+	return m.ctr.Apply(addr, counter, ct[:]), nil
+}
+
+// Write stores a buffer block by block (zero-padding the tail).
+func (m *TreeMemory) Write(addr uint64, data []byte) error {
+	var block [dram.BlockBytes]byte
+	for off := 0; off < len(data); off += dram.BlockBytes {
+		n := copy(block[:], data[off:])
+		for i := n; i < dram.BlockBytes; i++ {
+			block[i] = 0
+		}
+		if err := m.WriteBlock(addr+uint64(off), block[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read fetches size bytes with full verification.
+func (m *TreeMemory) Read(addr uint64, size int) ([]byte, error) {
+	out := make([]byte, 0, size)
+	for off := 0; off < size; off += dram.BlockBytes {
+		b, err := m.ReadBlock(addr + uint64(off))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+	}
+	return out[:size], nil
+}
+
+// --- Physical-attacker surface ---
+
+// SnapshotBlock captures (ciphertext, MAC) of a data block.
+func (m *TreeMemory) SnapshotBlock(addr uint64) (ct [dram.BlockBytes]byte, mac [secmem.MACBytes]byte, ok bool) {
+	ct, ok = m.blocks[addr]
+	return ct, m.macs[addr], ok
+}
+
+// RestoreBlock replays a captured (ciphertext, MAC) pair.
+func (m *TreeMemory) RestoreBlock(addr uint64, ct [dram.BlockBytes]byte, mac [secmem.MACBytes]byte) {
+	m.blocks[addr] = ct
+	m.macs[addr] = mac
+}
+
+// CorruptBlock flips one ciphertext bit.
+func (m *TreeMemory) CorruptBlock(addr uint64, bit uint) {
+	ct, ok := m.blocks[addr]
+	if !ok {
+		panic(fmt.Sprintf("integrity: corrupt of absent block %#x", addr))
+	}
+	ct[bit/8%dram.BlockBytes] ^= 1 << (bit % 8)
+	m.blocks[addr] = ct
+}

@@ -1,0 +1,131 @@
+package memprot
+
+import (
+	"fmt"
+	"testing"
+
+	"tnpu/internal/stats"
+)
+
+// TestEngineConformance runs every protection engine through the same
+// behavioural contract: the invariants the simulator depends on regardless
+// of scheme.
+func TestEngineConformance(t *testing.T) {
+	for _, scheme := range AllSchemes() {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			e := newEngine(t, scheme)
+
+			// 1. busFree and dataAt never precede the request.
+			var issue uint64
+			for i := 0; i < 2000; i++ {
+				addr := uint64(i) * 64
+				busFree, dataAt := e.ReadBlock(issue, addr, 1)
+				if busFree < issue {
+					t.Fatalf("read busFree %d before ready %d", busFree, issue)
+				}
+				if dataAt < busFree {
+					t.Fatalf("read dataAt %d before busFree %d", dataAt, busFree)
+				}
+				issue = busFree
+			}
+			for i := 0; i < 2000; i++ {
+				addr := uint64(i) * 64
+				busFree, dataAt := e.WriteBlock(issue, addr, 2)
+				if busFree < issue || dataAt < issue {
+					t.Fatal("write completed before its ready time")
+				}
+				issue = busFree
+			}
+
+			// 2. Data traffic is exact: one block per call.
+			if got := e.Traffic().Read(stats.Data); got != 2000*64 {
+				t.Fatalf("data read traffic = %d, want %d", got, 2000*64)
+			}
+			if got := e.Traffic().Write(stats.Data); got != 2000*64 {
+				t.Fatalf("data write traffic = %d, want %d", got, 2000*64)
+			}
+
+			// 3. VersionFetch never travels back in time.
+			if at := e.VersionFetch(1234, VTableSlot(1, 0), false); at < 1234 {
+				t.Fatalf("version fetch at %d before ready", at)
+			}
+
+			// 4. Flush only adds traffic, never removes.
+			before := e.Traffic().Total()
+			e.Flush(issue)
+			if e.Traffic().Total() < before {
+				t.Fatal("flush reduced traffic")
+			}
+
+			// 5. Stats accessors never return nil.
+			if e.CounterStats() == nil || e.HashStats() == nil || e.MACStats() == nil {
+				t.Fatal("nil stats accessor")
+			}
+		})
+	}
+}
+
+// TestEngineDeterminismConformance: identical call sequences produce
+// identical timings and traffic for every scheme.
+func TestEngineDeterminismConformance(t *testing.T) {
+	run := func(scheme Scheme) (uint64, uint64) {
+		e := newEngine(t, scheme)
+		var issue, last uint64
+		for i := 0; i < 3000; i++ {
+			addr := (uint64(i*2654435761) % (1 << 20)) &^ 63
+			var dataAt uint64
+			if i%3 == 0 {
+				issue, dataAt = e.WriteBlock(issue, addr, uint64(i))
+			} else {
+				issue, dataAt = e.ReadBlock(issue, addr, uint64(i))
+			}
+			if dataAt > last {
+				last = dataAt
+			}
+		}
+		return last, e.Traffic().Total()
+	}
+	for _, scheme := range AllSchemes() {
+		a1, t1 := run(scheme)
+		a2, t2 := run(scheme)
+		if a1 != a2 || t1 != t2 {
+			t.Errorf("%s: non-deterministic (%d/%d vs %d/%d)", scheme, a1, t1, a2, t2)
+		}
+	}
+}
+
+// TestSchemeTrafficOrderConformance: for any access pattern, metadata
+// traffic obeys unsecure <= encrypt-only <= tnpu <= baseline.
+func TestSchemeTrafficOrderConformance(t *testing.T) {
+	patterns := map[string]func(i int) (addr uint64, write bool){
+		"sequential": func(i int) (uint64, bool) { return uint64(i) * 64, false },
+		"strided":    func(i int) (uint64, bool) { return uint64(i) * 4096, false },
+		"writes":     func(i int) (uint64, bool) { return uint64(i) * 64, true },
+		"mixed": func(i int) (uint64, bool) {
+			return (uint64(i*131) % (1 << 22)) &^ 63, i%4 == 0
+		},
+	}
+	for name, pat := range patterns {
+		totals := map[Scheme]uint64{}
+		for _, scheme := range AllSchemes() {
+			e := newEngine(t, scheme)
+			var issue uint64
+			for i := 0; i < 4000; i++ {
+				addr, write := pat(i)
+				if write {
+					issue, _ = e.WriteBlock(issue, addr, 1)
+				} else {
+					issue, _ = e.ReadBlock(issue, addr, 1)
+				}
+			}
+			e.Flush(issue)
+			totals[scheme] = e.Traffic().Total()
+		}
+		if !(totals[Unsecure] <= totals[EncryptOnly] &&
+			totals[EncryptOnly] <= totals[TreeLess] &&
+			totals[TreeLess] <= totals[Baseline]) {
+			t.Errorf("%s: traffic order violated: %v", name, fmt.Sprint(totals))
+		}
+	}
+}

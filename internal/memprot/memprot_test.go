@@ -1,0 +1,367 @@
+package memprot
+
+import (
+	"testing"
+
+	"tnpu/internal/dram"
+	"tnpu/internal/stats"
+)
+
+// smallBus mirrors the Small NPU memory interface (4 B/cycle, 100-cycle
+// latency).
+func smallBus() *dram.Bus {
+	return dram.NewBus(dram.Config{
+		FreqHz:               2_750_000_000,
+		BandwidthBytesPerSec: 11_000_000_000,
+		LatencyCycles:        100,
+	})
+}
+
+func newEngine(t *testing.T, s Scheme) Engine {
+	t.Helper()
+	e, err := New(s, DefaultConfig(smallBus()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSchemeStrings(t *testing.T) {
+	if Unsecure.String() != "unsecure" || Baseline.String() != "baseline" || TreeLess.String() != "tnpu" {
+		t.Error("scheme names wrong")
+	}
+	if len(Schemes()) != 3 {
+		t.Error("want 3 schemes")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(smallBus()).Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := DefaultConfig(smallBus())
+	bad.Bus = nil
+	if _, err := New(Unsecure, bad); err == nil {
+		t.Error("nil bus accepted")
+	}
+	bad2 := DefaultConfig(smallBus())
+	bad2.CounterCacheBytes = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero cache accepted")
+	}
+}
+
+func TestUnsecureTiming(t *testing.T) {
+	e := newEngine(t, Unsecure)
+	busFree, dataAt := e.ReadBlock(0, 0, 0)
+	if busFree != 16 { // 64B at 4 B/cycle
+		t.Errorf("read busFree = %d, want 16", busFree)
+	}
+	if dataAt != 116 { // + 100 latency
+		t.Errorf("read dataAt = %d, want 116", dataAt)
+	}
+	busFree, dataAt = e.WriteBlock(0, 64, 0)
+	if dataAt != busFree {
+		t.Error("write should complete at bus time (no latency)")
+	}
+	if e.Traffic().Total() != 128 {
+		t.Errorf("traffic = %d, want 128", e.Traffic().Total())
+	}
+	if got := e.VersionFetch(5, VTableSlot(1, 0), false); got != 5 {
+		t.Errorf("unsecure VersionFetch = %d, want passthrough", got)
+	}
+}
+
+func TestBaselineCounterHitVsMiss(t *testing.T) {
+	e := newEngine(t, Baseline)
+	// First read of a region: counter miss -> tree walk (serialized
+	// fetches), so dataAt is far beyond the unsecure 116+crypto.
+	_, coldAt := e.ReadBlock(0, 0, 0)
+	// Second read of a neighbouring block shares the counter line (SC-64
+	// covers 4KB) and the MAC line: pure hit path.
+	_, hotAt := e.ReadBlock(coldAt, 64, 0)
+	coldLat, hotLat := coldAt, hotAt-coldAt
+	if coldLat <= hotLat {
+		t.Errorf("cold read latency (%d) should exceed hot read latency (%d)", coldLat, hotLat)
+	}
+	cs := e.CounterStats()
+	if cs.Lookups != 2 || cs.Misses != 1 {
+		t.Errorf("counter stats = %+v, want 2 lookups / 1 miss", *cs)
+	}
+}
+
+func TestBaselineSequentialStreamMetadataRatio(t *testing.T) {
+	e := newEngine(t, Baseline)
+	// Stream 1MB sequentially: counters miss once per 4KB, MACs once per
+	// 512B; tree nodes (hash) are rare (one L1 node covers 256KB).
+	const blocks = 16384 // 1MB
+	var ready uint64
+	for i := 0; i < blocks; i++ {
+		ready, _ = e.ReadBlock(ready, uint64(i)*64, 0)
+	}
+	tr := e.Traffic()
+	data := tr.Class(stats.Data)
+	if data != blocks*64 {
+		t.Fatalf("data traffic = %d", data)
+	}
+	ctr := tr.Class(stats.Counter)
+	if want := uint64(blocks/64) * 64; ctr != want {
+		t.Errorf("counter traffic = %d, want %d (1 line per 4KB)", ctr, want)
+	}
+	mac := tr.Class(stats.MAC)
+	if want := uint64(blocks/8) * 64; mac != want {
+		t.Errorf("mac traffic = %d, want %d (1 line per 512B)", mac, want)
+	}
+	if cs := e.CounterStats(); cs.MissRate() > 0.02 {
+		t.Errorf("sequential counter miss rate = %v, want <2%%", cs.MissRate())
+	}
+}
+
+func TestBaselineScatteredAccessThrashes(t *testing.T) {
+	e := newEngine(t, Baseline)
+	// Touch one block per 4KB page over 64MB: every access needs a new
+	// counter line; the 4KB counter cache (64 lines) thrashes.
+	var ready uint64
+	const accesses = 2048
+	for i := 0; i < accesses; i++ {
+		addr := uint64(i) * 4096 * 8 // stride 32KB over 64MB
+		ready, _ = e.ReadBlock(ready, addr, 0)
+	}
+	if mr := e.CounterStats().MissRate(); mr < 0.95 {
+		t.Errorf("scattered counter miss rate = %v, want ~1", mr)
+	}
+	// Hash (tree) traffic must appear: cold walks fetch inner nodes.
+	if e.Traffic().Class(stats.Hash) == 0 {
+		t.Error("tree walk generated no hash traffic")
+	}
+}
+
+func TestBaselineWriteCounterRMW(t *testing.T) {
+	e := newEngine(t, Baseline)
+	// A write to a cold region must fetch its counter line (RMW).
+	e.WriteBlock(0, 0, 0)
+	if e.Traffic().Read(stats.Counter) == 0 {
+		t.Error("cold write should fetch counter line")
+	}
+	// The block-oriented baseline MEE read-modify-writes MAC lines on
+	// write misses (it has no tile semantics to write-combine).
+	if e.Traffic().Read(stats.MAC) == 0 {
+		t.Error("baseline write miss should RMW the MAC line")
+	}
+	// The tree-less engine write-combines whole tile writes instead.
+	tl := newEngine(t, TreeLess)
+	tl.WriteBlock(0, 0, 1)
+	if tl.Traffic().Read(stats.MAC) != 0 {
+		t.Error("tree-less tile writes should write-validate MAC lines")
+	}
+}
+
+func TestBaselineDirtyCounterWriteback(t *testing.T) {
+	e := newEngine(t, Baseline)
+	// Dirty enough counter lines to force evictions: write one block per
+	// 4KB over far more pages than the counter cache holds.
+	var ready uint64
+	for i := 0; i < 1024; i++ {
+		ready, _ = e.WriteBlock(ready, uint64(i)*4096*64, 0)
+	}
+	if e.Traffic().Write(stats.Counter) == 0 {
+		t.Error("no counter writebacks despite thrashing dirty lines")
+	}
+	if e.Traffic().Write(stats.Hash) == 0 {
+		// Parent updates cascade into hash-line writebacks eventually.
+		e.Flush(ready)
+		if e.Traffic().Write(stats.Hash) == 0 {
+			t.Error("no hash writebacks even after flush")
+		}
+	}
+}
+
+func TestBaselineFlushDrains(t *testing.T) {
+	e := newEngine(t, Baseline)
+	end, _ := e.WriteBlock(0, 0, 0)
+	before := e.Traffic().Total()
+	e.Flush(end)
+	if e.Traffic().Total() <= before {
+		t.Error("flush of dirty metadata should add writeback traffic")
+	}
+}
+
+func TestTreelessNoCounterTraffic(t *testing.T) {
+	e := newEngine(t, TreeLess)
+	var ready uint64
+	for i := 0; i < 4096; i++ {
+		ready, _ = e.ReadBlock(ready, uint64(i)*64, 0)
+	}
+	tr := e.Traffic()
+	if tr.Class(stats.Counter) != 0 || tr.Class(stats.Hash) != 0 {
+		t.Errorf("tree-less NPU reads produced counter/hash traffic: %s", tr)
+	}
+	if want := uint64(4096/8) * 64; tr.Class(stats.MAC) != want {
+		t.Errorf("mac traffic = %d, want %d", tr.Class(stats.MAC), want)
+	}
+}
+
+func TestTreelessReadLatencyIncludesXTS(t *testing.T) {
+	cfg := DefaultConfig(smallBus())
+	e, _ := New(TreeLess, cfg)
+	// Warm the MAC line first so the second read is the pure hit path.
+	e.ReadBlock(0, 0, 0)
+	busFree, dataAt := e.ReadBlock(1000, 64, 0)
+	want := busFree + cfg.Bus.Latency() + cfg.XTSCycles + cfg.MACCycles
+	if dataAt != want {
+		t.Errorf("hit-path dataAt = %d, want %d", dataAt, want)
+	}
+}
+
+func TestTreelessVersionFetchCachesTable(t *testing.T) {
+	e := newEngine(t, TreeLess)
+	slot := VTableSlot(3, 0)
+	// Version fetches are non-blocking (the CPU prefetches the table and
+	// posts updates), but cold accesses generate protected-region traffic.
+	if got := e.VersionFetch(0, slot, false); got != 0 {
+		t.Errorf("version fetch must not gate issue: got %d", got)
+	}
+	coldTraffic := e.Traffic().Class(stats.Version)
+	if coldTraffic == 0 {
+		t.Error("cold version fetch generated no traffic")
+	}
+	e.VersionFetch(1000, slot, false)
+	if e.Traffic().Class(stats.Version) != coldTraffic {
+		t.Error("hot version fetch should not re-fetch")
+	}
+}
+
+func TestVTableSlotDisjoint(t *testing.T) {
+	a := VTableSlot(1, 0)
+	b := VTableSlot(1, 1)
+	c := VTableSlot(2, 0)
+	if a == b || a == c || b == c {
+		t.Error("version slots must be distinct")
+	}
+	if a < VTableBase {
+		t.Error("slot below table base")
+	}
+}
+
+func TestTreelessCheaperThanBaselineOnScatteredReads(t *testing.T) {
+	// The paper's core claim at engine level: for low-spatial-locality
+	// access (embedding-style), the tree-less engine finishes earlier and
+	// moves fewer bytes than the tree-based baseline.
+	base := newEngine(t, Baseline)
+	tnpu := newEngine(t, TreeLess)
+	run := func(e Engine) (uint64, uint64) {
+		var ready, last uint64
+		// 30-block rows at scattered addresses, like embedding gathers.
+		for row := 0; row < 200; row++ {
+			addr := (uint64(row*7919) % 50000) * 4096
+			for b := 0; b < 30; b++ {
+				var dataAt uint64
+				ready, dataAt = e.ReadBlock(ready, addr+uint64(b)*64, 0)
+				if dataAt > last {
+					last = dataAt
+				}
+			}
+		}
+		return last, e.Traffic().Total()
+	}
+	bTime, bBytes := run(base)
+	tTime, tBytes := run(tnpu)
+	if tTime >= bTime {
+		t.Errorf("tree-less scattered time %d not better than baseline %d", tTime, bTime)
+	}
+	if tBytes >= bBytes {
+		t.Errorf("tree-less traffic %d not lower than baseline %d", tBytes, bBytes)
+	}
+}
+
+func TestSchemesShareBusContention(t *testing.T) {
+	// Two engines on one bus: traffic from one delays the other.
+	bus := smallBus()
+	cfg := DefaultConfig(bus)
+	a, _ := New(Unsecure, cfg)
+	b, _ := New(Unsecure, cfg)
+	a.ReadBlock(0, 0, 0)
+	busFree, _ := b.ReadBlock(0, 0, 0)
+	if busFree != 32 {
+		t.Errorf("second engine's block should queue: busFree = %d, want 32", busFree)
+	}
+}
+
+func TestNewUnknownScheme(t *testing.T) {
+	if _, err := New(Scheme(42), DefaultConfig(smallBus())); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestEncryptOnlyScheme(t *testing.T) {
+	e := newEngine(t, EncryptOnly)
+	if e.Scheme() != EncryptOnly || EncryptOnly.String() != "encrypt-only" {
+		t.Fatal("scheme identity wrong")
+	}
+	busFree, dataAt := e.ReadBlock(0, 0, 0)
+	cfg := DefaultConfig(smallBus())
+	if dataAt != busFree+100+cfg.XTSCycles {
+		t.Errorf("encrypt-only read dataAt = %d", dataAt)
+	}
+	e.WriteBlock(0, 64, 0)
+	// Confidentiality only: zero metadata traffic of any kind.
+	if e.Traffic().Metadata() != 0 {
+		t.Errorf("encrypt-only generated metadata traffic: %s", e.Traffic())
+	}
+	if got := e.VersionFetch(9, 0, true); got != 9 {
+		t.Error("encrypt-only VersionFetch must be a no-op")
+	}
+	e.Flush(0)
+	if len(AllSchemes()) != 4 {
+		t.Error("AllSchemes should include encrypt-only")
+	}
+}
+
+func TestSplitCounterOverflowCost(t *testing.T) {
+	e := newEngine(t, Baseline).(*baseline)
+	// 127 writes to one block: no overflow yet.
+	var ready uint64
+	for i := 0; i < 127; i++ {
+		ready, _ = e.WriteBlock(ready, 0, 0)
+	}
+	if e.Overflows != 0 {
+		t.Fatalf("premature overflow after 127 writes")
+	}
+	before := e.Traffic().Total()
+	ready, _ = e.WriteBlock(ready, 0, 0) // 128th write wraps the minor
+	if e.Overflows != 1 {
+		t.Fatalf("overflow not triggered on minor wrap")
+	}
+	// The wrap re-encrypts the 4KB region: a 64-block read+write burst.
+	if delta := e.Traffic().Total() - before; delta < 64*128 {
+		t.Errorf("overflow burst only %d bytes", delta)
+	}
+	// Sibling slots were reset: another 127 writes to a neighbour are free.
+	for i := 0; i < 127; i++ {
+		ready, _ = e.WriteBlock(ready, 64, 0)
+	}
+	if e.Overflows != 1 {
+		t.Errorf("sibling writes should restart from reset minors")
+	}
+}
+
+func TestCounterPrefetch(t *testing.T) {
+	cfg := DefaultConfig(smallBus())
+	cfg.CounterPrefetch = true
+	e, err := New(Baseline, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First miss prefetches the next line, so streaming the next 4KB page
+	// hits where the plain engine would miss.
+	e.ReadBlock(0, 0, 0)
+	before := e.CounterStats().Misses
+	e.ReadBlock(1000, 4096, 0) // next counter line: prefetched
+	if e.CounterStats().Misses != before {
+		t.Errorf("prefetched line missed anyway")
+	}
+	// Prefetch consumed counter-read traffic for the extra line.
+	if e.Traffic().Read(stats.Counter) < 2*64 {
+		t.Errorf("prefetch traffic missing: %d", e.Traffic().Read(stats.Counter))
+	}
+}

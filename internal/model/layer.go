@@ -1,0 +1,212 @@
+// Package model describes DNN inference workloads as layer graphs, the way
+// the paper's simulator consumes them (SCALE-Sim style, extended with
+// inter-layer connections). Every layer carries both its GEMM view (what
+// the systolic array executes — convolutions are im2col'd on the fly by
+// the NPU's hardware im2col block) and its true DRAM tensor sizes (what
+// the protection schemes see as traffic). The package defines the 14
+// benchmark models of Table III with footprints calibrated to the paper.
+package model
+
+import (
+	"fmt"
+)
+
+// ElemBytes is the data precision: Float16, 2 bytes per element (Table II).
+const ElemBytes = 2
+
+// Kind classifies how a layer executes on the NPU.
+type Kind uint8
+
+const (
+	// KindGEMM runs on the systolic array (conv / FC / matmul / LSTM-step
+	// GEMMs). Convolutions are expressed through their im2col GEMM dims.
+	KindGEMM Kind = iota
+	// KindGather is an embedding-table lookup: many small row reads at
+	// data-dependent offsets — the fine-grained, low-spatial-locality
+	// pattern that makes sent and tf memory-intensive (Sec. III-B).
+	KindGather
+	// KindEltwise is an element-wise op over two inputs (residual add).
+	KindEltwise
+	// KindPool reads one tensor and writes a smaller one (pooling,
+	// activation-only reshapes).
+	KindPool
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindGEMM:
+		return "gemm"
+	case KindGather:
+		return "gather"
+	case KindEltwise:
+		return "eltwise"
+	case KindPool:
+		return "pool"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Layer is one node of the model graph.
+type Layer struct {
+	Name string
+	Kind Kind
+
+	// GEMM view (KindGEMM): output M×N with reduction K.
+	M, K, N int
+
+	// DRAM tensor sizes.
+	IfmapBytes  uint64 // activation input resident in NPU memory
+	WeightBytes uint64 // parameters (or embedding table)
+	OfmapBytes  uint64 // activation output
+
+	// Gather view (KindGather): Rows lookups of RowBytes each from the
+	// WeightBytes-sized table.
+	Rows     int
+	RowBytes int
+
+	// Inputs are indices of producer layers; -1 denotes the model input.
+	Inputs []int
+}
+
+// MACs returns multiply-accumulate count for GEMM layers (0 otherwise).
+func (l *Layer) MACs() uint64 {
+	if l.Kind != KindGEMM {
+		return 0
+	}
+	return uint64(l.M) * uint64(l.K) * uint64(l.N)
+}
+
+// outPixels computes conv output extent with "same"-style padding when
+// pad=true, valid otherwise.
+func outPixels(in, kernel, stride int, pad bool) int {
+	if pad {
+		return (in + stride - 1) / stride
+	}
+	return (in-kernel)/stride + 1
+}
+
+// Conv builds a convolution layer: input h×w×cin, kernel r×s, cout output
+// channels. The GEMM view is M=oh*ow, K=r*s*cin, N=cout.
+func Conv(name string, h, w, cin, r, s, cout, stride int, pad bool, inputs ...int) Layer {
+	oh := outPixels(h, r, stride, pad)
+	ow := outPixels(w, s, stride, pad)
+	return Layer{
+		Name: name, Kind: KindGEMM,
+		M: oh * ow, K: r * s * cin, N: cout,
+		IfmapBytes:  uint64(h*w*cin) * ElemBytes,
+		WeightBytes: uint64(r*s*cin*cout) * ElemBytes,
+		OfmapBytes:  uint64(oh*ow*cout) * ElemBytes,
+		Inputs:      inputs,
+	}
+}
+
+// DWConv builds a depthwise convolution: each channel convolved with its
+// own r×s filter. GEMM view folds channels into M (PE utilization is lower
+// in reality; the fill/drain model captures the small-K cost).
+func DWConv(name string, h, w, c, r, s, stride int, pad bool, inputs ...int) Layer {
+	oh := outPixels(h, r, stride, pad)
+	ow := outPixels(w, s, stride, pad)
+	return Layer{
+		Name: name, Kind: KindGEMM,
+		M: oh * ow * c, K: r * s, N: 1,
+		IfmapBytes:  uint64(h*w*c) * ElemBytes,
+		WeightBytes: uint64(r*s*c) * ElemBytes,
+		OfmapBytes:  uint64(oh*ow*c) * ElemBytes,
+		Inputs:      inputs,
+	}
+}
+
+// FC builds a fully connected layer mapping in → out features for a batch
+// of m rows.
+func FC(name string, m, in, out int, inputs ...int) Layer {
+	return Layer{
+		Name: name, Kind: KindGEMM,
+		M: m, K: in, N: out,
+		IfmapBytes:  uint64(m*in) * ElemBytes,
+		WeightBytes: uint64(in*out) * ElemBytes,
+		OfmapBytes:  uint64(m*out) * ElemBytes,
+		Inputs:      inputs,
+	}
+}
+
+// MatMul builds an activation×activation GEMM (attention scores etc.):
+// both operands are feature maps, no weights.
+func MatMul(name string, m, k, n int, inputs ...int) Layer {
+	return Layer{
+		Name: name, Kind: KindGEMM,
+		M: m, K: k, N: n,
+		IfmapBytes: uint64(m*k+k*n) * ElemBytes,
+		OfmapBytes: uint64(m*n) * ElemBytes,
+		Inputs:     inputs,
+	}
+}
+
+// LSTM builds one LSTM stack pass over seq steps: GEMM M=seq,
+// K=inDim+hidden, N=4*hidden, with the recurrent weight matrix as
+// parameters.
+func LSTM(name string, seq, inDim, hidden int, inputs ...int) Layer {
+	return Layer{
+		Name: name, Kind: KindGEMM,
+		M: seq, K: inDim + hidden, N: 4 * hidden,
+		IfmapBytes:  uint64(seq*inDim) * ElemBytes,
+		WeightBytes: uint64((inDim+hidden)*4*hidden) * ElemBytes,
+		OfmapBytes:  uint64(seq*hidden) * ElemBytes,
+		Inputs:      inputs,
+	}
+}
+
+// GRU builds one GRU stack pass (3 gates instead of 4).
+func GRU(name string, seq, inDim, hidden int, inputs ...int) Layer {
+	return Layer{
+		Name: name, Kind: KindGEMM,
+		M: seq, K: inDim + hidden, N: 3 * hidden,
+		IfmapBytes:  uint64(seq*inDim) * ElemBytes,
+		WeightBytes: uint64((inDim+hidden)*3*hidden) * ElemBytes,
+		OfmapBytes:  uint64(seq*hidden) * ElemBytes,
+		Inputs:      inputs,
+	}
+}
+
+// Embedding builds a table-lookup layer: rows lookups of dim features from
+// a vocab×dim table.
+func Embedding(name string, vocab, dim, rows int, inputs ...int) Layer {
+	return Layer{
+		Name: name, Kind: KindGather,
+		Rows: rows, RowBytes: dim * ElemBytes,
+		WeightBytes: uint64(vocab*dim) * ElemBytes,
+		OfmapBytes:  uint64(rows*dim) * ElemBytes,
+		Inputs:      inputs,
+	}
+}
+
+// EmbeddingSampled builds a table-lookup layer that fetches rows lookups
+// but keeps only kept rows in the output — the decode-time pattern where
+// beam search probes tied output embeddings for many candidate tokens and
+// emits one per step.
+func EmbeddingSampled(name string, vocab, dim, rows, kept int, inputs ...int) Layer {
+	l := Embedding(name, vocab, dim, rows, inputs...)
+	l.Name = name
+	l.OfmapBytes = uint64(kept*dim) * ElemBytes
+	return l
+}
+
+// Add builds a residual element-wise addition over elems elements.
+func Add(name string, elems int, inputs ...int) Layer {
+	return Layer{
+		Name: name, Kind: KindEltwise,
+		IfmapBytes: uint64(2*elems) * ElemBytes,
+		OfmapBytes: uint64(elems) * ElemBytes,
+		Inputs:     inputs,
+	}
+}
+
+// Pool builds a pooling layer shrinking inElems to outElems.
+func Pool(name string, inElems, outElems int, inputs ...int) Layer {
+	return Layer{
+		Name: name, Kind: KindPool,
+		IfmapBytes: uint64(inElems) * ElemBytes,
+		OfmapBytes: uint64(outElems) * ElemBytes,
+		Inputs:     inputs,
+	}
+}

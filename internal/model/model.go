@@ -1,0 +1,122 @@
+package model
+
+import (
+	"fmt"
+)
+
+// Model is a complete inference workload: a DAG of layers.
+type Model struct {
+	// Name is the full model name, Short the paper's abbreviation
+	// (Table III): goo, mob, yt, alex, rcnn, df, res, med, tx, agz,
+	// sent, ds2, tf, ncf.
+	Name  string
+	Short string
+	// InputBytes is the model input tensor (sensor data) size.
+	InputBytes uint64
+	Layers     []Layer
+}
+
+// Validate checks the layer graph is a well-formed DAG whose edges point
+// backwards and whose layers have sensible dimensions.
+func (m *Model) Validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("model %s: no layers", m.Short)
+	}
+	if m.InputBytes == 0 {
+		return fmt.Errorf("model %s: empty input tensor", m.Short)
+	}
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		if len(l.Inputs) == 0 {
+			return fmt.Errorf("model %s layer %d (%s): no inputs", m.Short, i, l.Name)
+		}
+		for _, in := range l.Inputs {
+			if in < -1 || in >= i {
+				return fmt.Errorf("model %s layer %d (%s): input %d not earlier in graph", m.Short, i, l.Name, in)
+			}
+		}
+		switch l.Kind {
+		case KindGEMM:
+			if l.M <= 0 || l.K <= 0 || l.N <= 0 {
+				return fmt.Errorf("model %s layer %d (%s): bad GEMM dims %dx%dx%d", m.Short, i, l.Name, l.M, l.K, l.N)
+			}
+		case KindGather:
+			if l.Rows <= 0 || l.RowBytes <= 0 || l.WeightBytes == 0 {
+				return fmt.Errorf("model %s layer %d (%s): bad gather", m.Short, i, l.Name)
+			}
+		case KindEltwise, KindPool:
+			if l.IfmapBytes == 0 || l.OfmapBytes == 0 {
+				return fmt.Errorf("model %s layer %d (%s): empty tensors", m.Short, i, l.Name)
+			}
+		default:
+			return fmt.Errorf("model %s layer %d (%s): unknown kind", m.Short, i, l.Name)
+		}
+		if l.OfmapBytes == 0 {
+			return fmt.Errorf("model %s layer %d (%s): no output", m.Short, i, l.Name)
+		}
+	}
+	return nil
+}
+
+// Footprint returns the Table III memory requirement: model parameters,
+// the model input, and the peak concurrent activation footprint (the
+// runtime reuses feature-map buffers between layers, so the live set is
+// the largest single layer's ifmap+ofmap, not the sum over layers).
+func (m *Model) Footprint() uint64 {
+	total := m.InputBytes + m.WeightBytes()
+	var peak uint64
+	for i := range m.Layers {
+		if act := m.Layers[i].IfmapBytes + m.Layers[i].OfmapBytes; act > peak {
+			peak = act
+		}
+	}
+	return total + peak
+}
+
+// WeightBytes returns total parameter bytes.
+func (m *Model) WeightBytes() uint64 {
+	var total uint64
+	for i := range m.Layers {
+		total += m.Layers[i].WeightBytes
+	}
+	return total
+}
+
+// MACs returns the total multiply-accumulate operations.
+func (m *Model) MACs() uint64 {
+	var total uint64
+	for i := range m.Layers {
+		total += m.Layers[i].MACs()
+	}
+	return total
+}
+
+// HasEmbedding reports whether any layer is a gather — the models the
+// paper singles out as memory-intensive (sent, tf, ncf).
+func (m *Model) HasEmbedding() bool {
+	for i := range m.Layers {
+		if m.Layers[i].Kind == KindGather {
+			return true
+		}
+	}
+	return false
+}
+
+// ByShort returns the model with the given Table III abbreviation.
+func ByShort(short string) (*Model, error) {
+	for _, m := range All() {
+		if m.Short == short {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("model: unknown short name %q (want one of %v)", short, ShortNames())
+}
+
+// ShortNames lists the Table III abbreviations in paper order.
+func ShortNames() []string {
+	names := make([]string, 0, len(All()))
+	for _, m := range All() {
+		names = append(names, m.Short)
+	}
+	return names
+}

@@ -1,0 +1,183 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllModelsValidate(t *testing.T) {
+	models := All()
+	if len(models) != 14 {
+		t.Fatalf("zoo has %d models, want 14 (Table III)", len(models))
+	}
+	for _, m := range models {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Short, err)
+		}
+	}
+}
+
+func TestPaperOrder(t *testing.T) {
+	want := []string{"goo", "mob", "yt", "alex", "rcnn", "df", "res", "med", "tx", "agz", "sent", "ds2", "tf", "ncf"}
+	got := ShortNames()
+	for i, s := range want {
+		if got[i] != s {
+			t.Fatalf("model order: got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFootprintsMatchTableIII is the Table III reproduction: every model's
+// computed footprint must land within 20% of the paper's reported value
+// (our graphs are reconstructions; see DESIGN.md calibration notes).
+func TestFootprintsMatchTableIII(t *testing.T) {
+	for _, m := range All() {
+		paper, ok := PaperFootprintsMB[m.Short]
+		if !ok {
+			t.Errorf("%s: no paper footprint recorded", m.Short)
+			continue
+		}
+		ours := float64(m.Footprint()) / (1 << 20)
+		ratio := ours / paper
+		if math.Abs(ratio-1) > 0.20 {
+			t.Errorf("%s: footprint %.1fMB vs paper %.1fMB (ratio %.2f)", m.Short, ours, paper, ratio)
+		}
+	}
+}
+
+func TestByShort(t *testing.T) {
+	m, err := ByShort("res")
+	if err != nil || m.Name != "Resnet50" {
+		t.Fatalf("ByShort(res) = %v, %v", m, err)
+	}
+	if _, err := ByShort("nope"); err == nil {
+		t.Fatal("unknown short name accepted")
+	}
+}
+
+func TestEmbeddingModels(t *testing.T) {
+	// The paper's memory-intensive workloads are exactly those with
+	// embedding layers: sent, tf, ncf (Sec. V-A).
+	want := map[string]bool{"sent": true, "tf": true, "ncf": true}
+	for _, m := range All() {
+		if m.HasEmbedding() != want[m.Short] {
+			t.Errorf("%s: HasEmbedding = %v, want %v", m.Short, m.HasEmbedding(), want[m.Short])
+		}
+	}
+}
+
+func TestConvDims(t *testing.T) {
+	l := Conv("c", 224, 224, 3, 7, 7, 64, 2, true)
+	if l.M != 112*112 || l.K != 7*7*3 || l.N != 64 {
+		t.Errorf("conv GEMM dims = %dx%dx%d", l.M, l.K, l.N)
+	}
+	if l.IfmapBytes != 224*224*3*2 || l.OfmapBytes != 112*112*64*2 {
+		t.Errorf("conv tensor sizes = %d/%d", l.IfmapBytes, l.OfmapBytes)
+	}
+	if l.WeightBytes != 7*7*3*64*2 {
+		t.Errorf("conv weights = %d", l.WeightBytes)
+	}
+	// Valid padding.
+	v := Conv("v", 227, 227, 3, 11, 11, 96, 4, false)
+	if v.M != 55*55 {
+		t.Errorf("valid-pad conv M = %d, want %d", v.M, 55*55)
+	}
+}
+
+func TestDWConvDims(t *testing.T) {
+	l := DWConv("dw", 112, 112, 32, 3, 3, 1, true)
+	if l.M != 112*112*32 || l.K != 9 || l.N != 1 {
+		t.Errorf("dwconv GEMM dims = %dx%dx%d", l.M, l.K, l.N)
+	}
+	if l.WeightBytes != 3*3*32*2 {
+		t.Errorf("dwconv weights = %d", l.WeightBytes)
+	}
+}
+
+func TestLSTMDims(t *testing.T) {
+	l := LSTM("l", 256, 513, 864)
+	if l.M != 256 || l.K != 513+864 || l.N != 4*864 {
+		t.Errorf("lstm GEMM dims = %dx%dx%d", l.M, l.K, l.N)
+	}
+	g := GRU("g", 75, 440, 440)
+	if g.N != 3*440 {
+		t.Errorf("gru N = %d", g.N)
+	}
+}
+
+func TestEmbeddingDims(t *testing.T) {
+	l := Embedding("e", 30000, 960, 1024)
+	if l.Kind != KindGather || l.Rows != 1024 || l.RowBytes != 1920 {
+		t.Errorf("embedding = %+v", l)
+	}
+	if l.WeightBytes != 30000*960*2 {
+		t.Errorf("table bytes = %d", l.WeightBytes)
+	}
+	if l.MACs() != 0 {
+		t.Error("gather has no MACs")
+	}
+}
+
+func TestMACs(t *testing.T) {
+	l := FC("f", 4, 10, 20)
+	if l.MACs() != 800 {
+		t.Errorf("FC MACs = %d, want 800", l.MACs())
+	}
+	m := &Model{Short: "x", Layers: []Layer{l, Add("a", 100, 0)}}
+	if m.MACs() != 800 {
+		t.Errorf("model MACs = %d", m.MACs())
+	}
+}
+
+func TestValidateRejectsBadGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Model
+	}{
+		{"empty", Model{Short: "x"}},
+		{"zero input", Model{Short: "x", Layers: []Layer{
+			{Kind: KindGEMM, M: 1, K: 1, N: 1, OfmapBytes: 2, Inputs: []int{-1}},
+		}}},
+		{"no inputs", Model{Short: "x", Layers: []Layer{{Kind: KindGEMM, M: 1, K: 1, N: 1, OfmapBytes: 2}}}},
+		{"forward edge", Model{Short: "x", Layers: []Layer{
+			{Kind: KindGEMM, M: 1, K: 1, N: 1, OfmapBytes: 2, Inputs: []int{0}},
+		}}},
+		{"bad gemm", Model{Short: "x", Layers: []Layer{
+			{Kind: KindGEMM, M: 0, K: 1, N: 1, OfmapBytes: 2, Inputs: []int{-1}},
+		}}},
+		{"bad gather", Model{Short: "x", Layers: []Layer{
+			{Kind: KindGather, Rows: 0, OfmapBytes: 2, Inputs: []int{-1}},
+		}}},
+		{"empty eltwise", Model{Short: "x", Layers: []Layer{
+			{Kind: KindEltwise, Inputs: []int{-1}},
+		}}},
+	}
+	for _, c := range cases {
+		if err := c.m.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, s := range map[Kind]string{KindGEMM: "gemm", KindGather: "gather", KindEltwise: "eltwise", KindPool: "pool"} {
+		if k.String() != s {
+			t.Errorf("kind %d = %q", int(k), k.String())
+		}
+	}
+}
+
+func TestFootprintComposition(t *testing.T) {
+	m := Model{
+		Short:      "x",
+		InputBytes: 100,
+		Layers: []Layer{
+			{Kind: KindGEMM, M: 1, K: 1, N: 1, WeightBytes: 1000, IfmapBytes: 100, OfmapBytes: 50, Inputs: []int{-1}},
+			{Kind: KindGEMM, M: 1, K: 1, N: 1, WeightBytes: 500, IfmapBytes: 50, OfmapBytes: 700, Inputs: []int{0}},
+		},
+	}
+	// weights 1500 + input 100 + peak act (50+700).
+	if got := m.Footprint(); got != 1500+100+750 {
+		t.Errorf("Footprint = %d, want %d", got, 1500+100+750)
+	}
+}

@@ -1,0 +1,374 @@
+package model
+
+import "sync"
+
+// builder assembles sequential-with-branches layer graphs.
+type builder struct {
+	m    Model
+	last int
+}
+
+func newBuilder(name, short string, inputBytes uint64) *builder {
+	return &builder{m: Model{Name: name, Short: short, InputBytes: inputBytes}, last: -1}
+}
+
+// add appends a layer consuming the previous one (or the model input).
+func (b *builder) add(l Layer) int {
+	return b.addFrom([]int{b.last}, l)
+}
+
+// addFrom appends a layer with explicit producer indices.
+func (b *builder) addFrom(inputs []int, l Layer) int {
+	l.Inputs = inputs
+	b.m.Layers = append(b.m.Layers, l)
+	b.last = len(b.m.Layers) - 1
+	return b.last
+}
+
+func (b *builder) build() *Model {
+	m := b.m
+	if err := m.Validate(); err != nil {
+		panic(err) // zoo definitions are compile-time constants
+	}
+	return &m
+}
+
+// inception adds one GoogLeNet inception module at h×w spatial size with
+// cin input channels and the six standard branch widths; returns the
+// output channel count.
+func (b *builder) inception(prefix string, h, cin, c1, c3r, c3, c5r, c5, cp int) int {
+	in := b.last
+	b.addFrom([]int{in}, Conv(prefix+"/1x1", h, h, cin, 1, 1, c1, 1, true))
+	r3 := b.addFrom([]int{in}, Conv(prefix+"/3x3r", h, h, cin, 1, 1, c3r, 1, true))
+	b.addFrom([]int{r3}, Conv(prefix+"/3x3", h, h, c3r, 3, 3, c3, 1, true))
+	r5 := b.addFrom([]int{in}, Conv(prefix+"/5x5r", h, h, cin, 1, 1, c5r, 1, true))
+	b.addFrom([]int{r5}, Conv(prefix+"/5x5", h, h, c5r, 5, 5, c5, 1, true))
+	pp := b.addFrom([]int{in}, Pool(prefix+"/pool", h*h*cin, h*h*cin))
+	b.addFrom([]int{pp}, Conv(prefix+"/poolproj", h, h, cin, 1, 1, cp, 1, true))
+	// Concatenation is a no-op in memory terms (branches write adjacent
+	// regions); downstream layers consume the last branch index with the
+	// concatenated channel count.
+	return c1 + c3 + c5 + cp
+}
+
+// bottleneck adds one ResNet bottleneck (1x1-3x3-1x1 + residual add).
+func (b *builder) bottleneck(prefix string, h, cin, mid, cout, stride int, project bool) {
+	in := b.last
+	oh := h / stride
+	b.addFrom([]int{in}, Conv(prefix+"/a", h, h, cin, 1, 1, mid, stride, true))
+	b.add(Conv(prefix+"/b", oh, oh, mid, 3, 3, mid, 1, true))
+	main := b.add(Conv(prefix+"/c", oh, oh, mid, 1, 1, cout, 1, true))
+	short := in
+	if project {
+		short = b.addFrom([]int{in}, Conv(prefix+"/proj", h, h, cin, 1, 1, cout, stride, true))
+	}
+	b.addFrom([]int{main, short}, Add(prefix+"/add", oh*oh*cout))
+}
+
+func buildGooglenet() *Model {
+	b := newBuilder("GoogleNet", "goo", 224*224*3*ElemBytes)
+	b.add(Conv("conv1", 224, 224, 3, 7, 7, 64, 2, true))
+	p1 := b.add(Pool("pool1", 112*112*64, 56*56*64))
+	b.addFrom([]int{p1}, Conv("conv2r", 56, 56, 64, 1, 1, 64, 1, true))
+	b.add(Conv("conv2", 56, 56, 64, 3, 3, 192, 1, true))
+	b.add(Pool("pool2", 56*56*192, 28*28*192))
+	c := b.inception("3a", 28, 192, 64, 96, 128, 16, 32, 32)
+	c = b.inception("3b", 28, c, 128, 128, 192, 32, 96, 64)
+	b.add(Pool("pool3", 28*28*c, 14*14*c))
+	c = b.inception("4a", 14, c, 192, 96, 208, 16, 48, 64)
+	c = b.inception("4b", 14, c, 160, 112, 224, 24, 64, 64)
+	c = b.inception("4c", 14, c, 128, 128, 256, 24, 64, 64)
+	c = b.inception("4d", 14, c, 112, 144, 288, 32, 64, 64)
+	c = b.inception("4e", 14, c, 256, 160, 320, 32, 128, 128)
+	b.add(Pool("pool4", 14*14*c, 7*7*c))
+	c = b.inception("5a", 7, c, 256, 160, 320, 32, 128, 128)
+	c = b.inception("5b", 7, c, 384, 192, 384, 48, 128, 128)
+	b.add(Pool("gap", 7*7*c, c))
+	b.add(FC("fc", 1, c, 1000))
+	return b.build()
+}
+
+func buildMobilenet() *Model {
+	b := newBuilder("MobileNet", "mob", 224*224*3*ElemBytes)
+	b.add(Conv("conv1", 224, 224, 3, 3, 3, 32, 2, true))
+	// (channels, stride) pairs of the 13 depthwise-separable blocks.
+	specs := []struct{ c, s int }{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1},
+		{512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+		{1024, 2}, {1024, 1},
+	}
+	h, cin := 112, 32
+	for i, sp := range specs {
+		b.add(DWConv(dwName("dw", i), h, h, cin, 3, 3, sp.s, true))
+		h /= sp.s
+		b.add(Conv(dwName("pw", i), h, h, cin, 1, 1, sp.c, 1, true))
+		cin = sp.c
+	}
+	b.add(Pool("gap", 7*7*1024, 1024))
+	b.add(FC("fc", 1, 1024, 1000))
+	return b.build()
+}
+
+func dwName(prefix string, i int) string {
+	return prefix + string(rune('a'+i))
+}
+
+func buildYoloTiny() *Model {
+	b := newBuilder("Yolo-tiny", "yt", 416*416*3*ElemBytes)
+	h, cin := 416, 3
+	for i, c := range []int{16, 32, 64, 128, 256, 512} {
+		b.add(Conv(dwName("conv", i), h, h, cin, 3, 3, c, 1, true))
+		b.add(Pool(dwName("pool", i), h*h*c, (h/2)*(h/2)*c))
+		h /= 2
+		cin = c
+	}
+	b.add(Conv("conv7", h, h, 512, 3, 3, 512, 1, true))
+	b.add(Conv("conv8", h, h, 512, 3, 3, 512, 1, true))
+	b.add(Conv("det", h, h, 512, 1, 1, 125, 1, true))
+	return b.build()
+}
+
+func buildAlexnet() *Model {
+	b := newBuilder("Alexnet", "alex", 227*227*3*ElemBytes)
+	b.add(Conv("conv1", 227, 227, 3, 11, 11, 96, 4, false))
+	b.add(Pool("pool1", 55*55*96, 27*27*96))
+	b.add(Conv("conv2", 27, 27, 96, 5, 5, 256, 1, true))
+	b.add(Pool("pool2", 27*27*256, 13*13*256))
+	b.add(Conv("conv3", 13, 13, 256, 3, 3, 384, 1, true))
+	b.add(Conv("conv4", 13, 13, 384, 3, 3, 384, 1, true))
+	b.add(Conv("conv5", 13, 13, 384, 3, 3, 256, 1, true))
+	b.add(Pool("pool5", 13*13*256, 6*6*256))
+	b.add(FC("fc6", 1, 9216, 192))
+	b.add(FC("fc7", 1, 192, 128))
+	b.add(FC("fc8", 1, 128, 10))
+	return b.build()
+}
+
+func buildFasterRCNN() *Model {
+	// Truncated-VGG backbone + RPN + detection head, sized to the paper's
+	// 29.3MB footprint.
+	b := newBuilder("FasterRCNN", "rcnn", 160*160*3*ElemBytes)
+	b.add(Conv("conv1_1", 160, 160, 3, 3, 3, 64, 1, true))
+	b.add(Conv("conv1_2", 160, 160, 64, 3, 3, 64, 1, true))
+	b.add(Pool("pool1", 160*160*64, 80*80*64))
+	b.add(Conv("conv2_1", 80, 80, 64, 3, 3, 128, 1, true))
+	b.add(Conv("conv2_2", 80, 80, 128, 3, 3, 128, 1, true))
+	b.add(Pool("pool2", 80*80*128, 40*40*128))
+	b.add(Conv("conv3_1", 40, 40, 128, 3, 3, 256, 1, true))
+	b.add(Conv("conv3_2", 40, 40, 256, 3, 3, 256, 1, true))
+	b.add(Conv("conv3_3", 40, 40, 256, 3, 3, 256, 1, true))
+	b.add(Pool("pool3", 40*40*256, 20*20*256))
+	b.add(Conv("conv4_1", 20, 20, 256, 3, 3, 512, 1, true))
+	b.add(Conv("conv4_2", 20, 20, 512, 3, 3, 512, 1, true))
+	b.add(Conv("conv4_3", 20, 20, 512, 3, 3, 512, 1, true))
+	feat := b.last
+	// Region proposal network.
+	rpn := b.addFrom([]int{feat}, Conv("rpn", 20, 20, 512, 3, 3, 512, 1, true))
+	b.addFrom([]int{rpn}, Conv("rpn_cls", 20, 20, 512, 1, 1, 18, 1, true))
+	b.addFrom([]int{rpn}, Conv("rpn_reg", 20, 20, 512, 1, 1, 36, 1, true))
+	// RoI head over 64 proposals of 7x7x512.
+	roi := b.addFrom([]int{feat}, Pool("roi_pool", 20*20*512, 64*7*7*512))
+	f := b.addFrom([]int{roi}, FC("head_fc", 64, 7*7*512, 64))
+	b.addFrom([]int{f}, FC("cls", 64, 64, 21))
+	b.addFrom([]int{f}, FC("reg", 64, 64, 84))
+	return b.build()
+}
+
+func buildDeepFace() *Model {
+	b := newBuilder("DeepFace", "df", 152*152*3*ElemBytes)
+	b.add(Conv("c1", 152, 152, 3, 11, 11, 24, 1, true))
+	b.add(Pool("pool1", 152*152*24, 71*71*24))
+	b.add(Conv("c3", 71, 71, 24, 9, 9, 16, 1, false))
+	b.add(Conv("l4", 63, 63, 16, 9, 9, 16, 2, false))
+	b.add(Conv("l5", 28, 28, 16, 7, 7, 16, 2, false))
+	b.add(Conv("l6", 11, 11, 16, 5, 5, 16, 1, false))
+	b.add(FC("f7", 1, 7*7*16, 512))
+	b.add(FC("f8", 1, 512, 256))
+	return b.build()
+}
+
+func buildResnet50() *Model {
+	// ResNet50 structure with base width 56 (7/8 of canonical 64), which
+	// lands the fp16 footprint at the paper's 41.4MB (Table III); the
+	// canonical width would be 51MB+.
+	b := newBuilder("Resnet50", "res", 224*224*3*ElemBytes)
+	b.add(Conv("conv1", 224, 224, 3, 7, 7, 56, 2, true))
+	b.add(Pool("pool1", 112*112*56, 56*56*56))
+	type stage struct{ blocks, mid, out, stride, h int }
+	stages := []stage{
+		{3, 56, 224, 1, 56},
+		{4, 112, 448, 2, 56},
+		{6, 224, 896, 2, 28},
+		{3, 448, 1792, 2, 14},
+	}
+	cin := 56
+	for si, st := range stages {
+		h := st.h
+		for bi := 0; bi < st.blocks; bi++ {
+			stride := 1
+			if bi == 0 {
+				stride = st.stride
+			}
+			b.bottleneck(resName(si, bi), h, cin, st.mid, st.out, stride, bi == 0)
+			if bi == 0 {
+				h /= st.stride
+			}
+			cin = st.out
+		}
+	}
+	b.add(Pool("gap", 7*7*1792, 1792))
+	b.add(FC("fc", 1, 1792, 1000))
+	return b.build()
+}
+
+func resName(stage, block int) string {
+	return "res" + string(rune('2'+stage)) + string(rune('a'+block))
+}
+
+func buildMED() *Model {
+	// Melody extraction/detection LSTM-RNN over 512 spectrogram frames:
+	// enough recurrence depth that the systolic array stays as busy as
+	// the DMA, the compute-bound balance the paper reports for med.
+	b := newBuilder("MelodyExtractionDetection", "med", 512*513*ElemBytes)
+	b.add(LSTM("lstm1", 512, 513, 864))
+	b.add(LSTM("lstm2", 512, 864, 864))
+	b.add(LSTM("lstm3", 512, 864, 864))
+	b.add(FC("out", 512, 864, 722))
+	return b.build()
+}
+
+func buildTextGen() *Model {
+	// Graves-style character LSTM, 3 stacked layers over 512 steps.
+	b := newBuilder("Text-generation", "tx", 512*256*ElemBytes)
+	b.add(LSTM("lstm1", 512, 256, 700))
+	b.add(LSTM("lstm2", 512, 700, 700))
+	b.add(LSTM("lstm3", 512, 700, 700))
+	b.add(FC("out", 512, 700, 256))
+	return b.build()
+}
+
+func buildAlphaGoZero() *Model {
+	b := newBuilder("AlphaGoZero", "agz", 19*19*17*ElemBytes)
+	b.add(Conv("stem", 19, 19, 17, 3, 3, 128, 1, true))
+	for i := 0; i < 2; i++ {
+		in := b.last
+		b.add(Conv(dwName("rb_a", i), 19, 19, 128, 3, 3, 128, 1, true))
+		main := b.add(Conv(dwName("rb_b", i), 19, 19, 128, 3, 3, 128, 1, true))
+		b.addFrom([]int{main, in}, Add(dwName("rb_add", i), 19*19*128))
+	}
+	trunk := b.last
+	p := b.addFrom([]int{trunk}, Conv("policy_conv", 19, 19, 128, 1, 1, 2, 1, true))
+	b.addFrom([]int{p}, FC("policy_fc", 1, 19*19*2, 362))
+	v := b.addFrom([]int{trunk}, Conv("value_conv", 19, 19, 128, 1, 1, 1, 1, true))
+	vf := b.addFrom([]int{v}, FC("value_fc1", 1, 19*19, 128))
+	b.addFrom([]int{vf}, FC("value_fc2", 1, 128, 1))
+	return b.build()
+}
+
+func buildSentCNN() *Model {
+	// Sentiment seq-CNN over 1024 tokens with region (n-gram) embeddings:
+	// a 57.6MB table of 225k short 256B rows, with 12 candidate n-gram
+	// probes per position feeding three kept region views. The flood of
+	// fine-grained scattered row reads is what makes sent the most
+	// protection-hostile workload in the paper (Fig. 4/5).
+	b := newBuilder("Sentimental-seqCNN", "sent", 1024*4)
+	b.add(EmbeddingSampled("embed", 225000, 128, 12*1024, 3*1024))
+	b.add(Conv("conv3", 1024, 1, 384, 3, 1, 128, 1, true))
+	b.add(Pool("maxpool", 1024*128, 128))
+	b.add(FC("fc", 1, 128, 2))
+	return b.build()
+}
+
+func buildDeepSpeech2() *Model {
+	b := newBuilder("DeepSpeech2", "ds2", 300*161*ElemBytes)
+	b.add(Conv("conv1", 300, 161, 1, 11, 41, 32, 2, true))
+	b.add(Conv("conv2", 150, 81, 32, 11, 21, 32, 2, true))
+	seq, feat := 75, 41*32
+	b.add(GRU("gru1", seq, feat, 440))
+	for i := 0; i < 4; i++ {
+		b.add(GRU(dwName("gru", i+2), seq, 440, 440))
+	}
+	b.add(FC("out", seq, 440, 29))
+	return b.build()
+}
+
+func buildTransformer() *Model {
+	// Transformer with d_model=384, d_ff=1536, 6 encoder + 6 decoder
+	// layers, 32k shared vocabulary, 64+64 token sequences — sized to the
+	// paper's 75.6MB, the largest footprint in Table III.
+	const (
+		d     = 384
+		dff   = 1536
+		seq   = 128
+		vocab = 32000
+	)
+	b := newBuilder("Transformer", "tf", seq*2*4)
+	// The shared factorized embedding table (ALBERT-style: vocab x d/2,
+	// projected to d_model) serves encoder/decoder token lookups plus the
+	// decode-time beam-search probes of the tied output embedding — the
+	// "multiple large one-hot vectors" fine-grained access pattern that
+	// makes tf protection-hostile (Sec. III-B, V-B): 2*seq token rows and
+	// seq steps x beam 4 x 64 candidate probes, keeping 2*seq rows.
+	b.add(EmbeddingSampled("embed", 2*vocab, d/2, 2*seq+seq*4*64, 2*seq))
+	addBlock := func(prefix string, cross bool) {
+		// Q/K/V/O projections folded into one GEMM of 4 d×d matrices.
+		b.add(FC(prefix+"/qkvo", seq, d, 4*d))
+		b.add(MatMul(prefix+"/scores", seq, d, seq))
+		b.add(MatMul(prefix+"/context", seq, seq, d))
+		if cross {
+			b.add(FC(prefix+"/xqkvo", seq, d, 4*d))
+			b.add(MatMul(prefix+"/xscores", seq, d, seq))
+			b.add(MatMul(prefix+"/xcontext", seq, seq, d))
+		}
+		b.add(FC(prefix+"/ffn1", seq, d, dff))
+		b.add(FC(prefix+"/ffn2", seq, dff, d))
+	}
+	for i := 0; i < 6; i++ {
+		addBlock("enc"+string(rune('0'+i)), false)
+	}
+	for i := 0; i < 6; i++ {
+		addBlock("dec"+string(rune('0'+i)), true)
+	}
+	b.add(FC("logits", seq, d, vocab/10)) // factored output projection
+	return b.build()
+}
+
+func buildNCF() *Model {
+	// Neural collaborative filtering: one user scored against a batch of
+	// 256 candidate items through user/item embeddings + MLP.
+	b := newBuilder("NCF-recommendation", "ncf", 256*8)
+	u := b.add(Embedding("user_embed", 45000, 64, 1))
+	it := b.add(Embedding("item_embed", 45000, 64, 256))
+	b.addFrom([]int{u, it}, FC("mlp1", 256, 128, 256))
+	b.add(FC("mlp2", 256, 256, 128))
+	b.add(FC("mlp3", 256, 128, 64))
+	b.add(FC("out", 256, 64, 1))
+	return b.build()
+}
+
+var (
+	allOnce sync.Once
+	all     []*Model
+)
+
+// All returns the 14 Table III models in paper order. The slice and models
+// are shared; callers must not mutate them.
+func All() []*Model {
+	allOnce.Do(func() {
+		all = []*Model{
+			buildGooglenet(), buildMobilenet(), buildYoloTiny(), buildAlexnet(),
+			buildFasterRCNN(), buildDeepFace(), buildResnet50(), buildMED(),
+			buildTextGen(), buildAlphaGoZero(), buildSentCNN(), buildDeepSpeech2(),
+			buildTransformer(), buildNCF(),
+		}
+	})
+	return all
+}
+
+// PaperFootprintsMB records Table III's memory footprints for comparison.
+var PaperFootprintsMB = map[string]float64{
+	"goo": 15.2, "mob": 11.4, "yt": 18.9, "alex": 11.7,
+	"rcnn": 29.3, "df": 2.2, "res": 41.4, "med": 34.8,
+	"tx": 21.7, "agz": 2.2, "sent": 58.8, "ds2": 15.6,
+	"tf": 75.6, "ncf": 11.6,
+}

@@ -1,0 +1,116 @@
+// Package multinpu simulates 1–3 NPUs sharing the memory controller and
+// the security engine, the Sec. V-C scalability setup: every NPU has its
+// own IOMMU and context memory, but bandwidth and the metadata caches
+// (counter, hash, MAC) are shared, so baseline counter/hash working sets
+// collide — the effect that widens TNPU's advantage as NPU count grows.
+package multinpu
+
+import (
+	"fmt"
+
+	"tnpu/internal/compiler"
+	"tnpu/internal/dram"
+	"tnpu/internal/memprot"
+	"tnpu/internal/npu"
+	"tnpu/internal/stats"
+)
+
+// contextStride separates NPU contexts in physical memory (each context's
+// tensors, and its version-table slots, live in a disjoint region).
+const contextStride uint64 = 256 << 20
+
+// slotStride separates the contexts' version tables within the 128MB
+// fully protected region.
+const slotStride uint64 = 2 << 20
+
+// Result summarizes a multi-NPU run.
+type Result struct {
+	Scheme memprot.Scheme
+	// Cycles is the completion time of the slowest NPU — the paper's
+	// normalized execution time for an n-NPU run.
+	Cycles uint64
+	// PerNPU is each NPU's own completion time.
+	PerNPU  []uint64
+	Traffic stats.Traffic
+	Counter stats.CacheStats
+	Hash    stats.CacheStats
+	MAC     stats.CacheStats
+}
+
+// Run executes count copies of prog (the paper runs the same inference
+// model on every NPU) under one shared bus and protection engine.
+func Run(prog *compiler.Program, scheme memprot.Scheme, cfg npu.Config, count int) (Result, error) {
+	if count <= 0 {
+		return Result{}, fmt.Errorf("multinpu: count must be positive, got %d", count)
+	}
+	progs := make([]*compiler.Program, count)
+	for i := range progs {
+		progs[i] = prog
+	}
+	return RunMixed(progs, scheme, cfg)
+}
+
+// RunMixed executes a different program per NPU — the mixed-tenancy
+// extension of the Sec. V-C setup (each context still gets its own memory
+// region and version table; only bandwidth, the security engine, and the
+// metadata caches are shared).
+func RunMixed(progs []*compiler.Program, scheme memprot.Scheme, cfg npu.Config) (Result, error) {
+	count := len(progs)
+	if count == 0 {
+		return Result{}, fmt.Errorf("multinpu: no programs")
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	for i, p := range progs {
+		if p.MemoryTop > contextStride {
+			return Result{}, fmt.Errorf("multinpu: program %d needs %d bytes, context stride is %d", i, p.MemoryTop, contextStride)
+		}
+	}
+	bus := dram.NewBus(cfg.Mem)
+	eng, err := memprot.New(scheme, memprot.DefaultConfig(bus))
+	if err != nil {
+		return Result{}, err
+	}
+
+	machines := make([]*npu.Machine, count)
+	for i := range machines {
+		machines[i] = npu.NewMachineAt(progs[i], eng, uint64(i)*contextStride, uint64(i)*slotStride)
+	}
+
+	// Block-granular arbitration: always serve the machine whose next
+	// block is ready earliest; ties rotate so no NPU starves.
+	last := 0
+	for {
+		best, bestReady := -1, ^uint64(0)
+		for off := 1; off <= count; off++ {
+			i := (last + off) % count
+			ready, ok := machines[i].NextReady()
+			if !ok {
+				continue
+			}
+			if ready < bestReady {
+				best, bestReady = i, ready
+			}
+		}
+		if best < 0 {
+			break
+		}
+		machines[best].ServeBlock()
+		last = best
+	}
+
+	res := Result{Scheme: scheme, PerNPU: make([]uint64, count)}
+	for i, m := range machines {
+		res.PerNPU[i] = m.Cycles()
+		if m.Cycles() > res.Cycles {
+			res.Cycles = m.Cycles()
+		}
+	}
+	eng.Flush(res.Cycles)
+	res.Traffic = *eng.Traffic()
+	res.Counter = *eng.CounterStats()
+	res.Hash = *eng.HashStats()
+	res.MAC = *eng.MACStats()
+	return res, nil
+}

@@ -1,0 +1,379 @@
+// Package npu is the cycle-accounting NPU simulator: it executes a
+// compiled instruction trace on two in-order functional units — a DMA
+// engine that moves 64B blocks through a memory-protection engine, and the
+// systolic PE array — connected by the compiler's dependency edges. The
+// block-granular design lets several NPUs interleave fairly on one shared
+// bus and one shared security engine (the Sec. V-C scalability setup).
+package npu
+
+import (
+	"fmt"
+
+	"tnpu/internal/cache"
+	"tnpu/internal/compiler"
+	"tnpu/internal/dram"
+	"tnpu/internal/isa"
+	"tnpu/internal/memprot"
+	"tnpu/internal/spm"
+	"tnpu/internal/stats"
+	"tnpu/internal/systolic"
+)
+
+// Config is one NPU's hardware description (Table II).
+type Config struct {
+	Name  string
+	Array systolic.Array
+	SPM   spm.SPM
+	Mem   dram.Config
+
+	// TLBEntries enables the IOMMU model (Fig. 11): each mvin/mvout
+	// translates the 4KB pages its segments touch through a TLB of this
+	// many entries; misses pay TLBWalkCycles for the page walk plus the
+	// EEPCM validation. Zero disables translation modelling (the paper
+	// folds it into the 100-cycle DRAM figure, after NeuMMU).
+	TLBEntries    int
+	TLBWalkCycles uint64
+}
+
+// SmallNPU returns the Samsung Exynos 990-class configuration.
+func SmallNPU() Config {
+	return Config{
+		Name:  "small",
+		Array: systolic.Array{Rows: 32, Cols: 32},
+		SPM:   spm.SPM{CapacityBytes: 480 << 10},
+		Mem: dram.Config{
+			FreqHz:               2_750_000_000,
+			BandwidthBytesPerSec: 11_000_000_000,
+			LatencyCycles:        100,
+		},
+	}
+}
+
+// LargeNPU returns the ARM Ethos-N77-class configuration.
+func LargeNPU() Config {
+	return Config{
+		Name:  "large",
+		Array: systolic.Array{Rows: 45, Cols: 45},
+		SPM:   spm.SPM{CapacityBytes: 1 << 20},
+		Mem: dram.Config{
+			FreqHz:               1_000_000_000,
+			BandwidthBytesPerSec: 22_000_000_000,
+			LatencyCycles:        100,
+		},
+	}
+}
+
+// CompilerConfig derives the compiler view of this NPU.
+func (c Config) CompilerConfig() compiler.Config {
+	return compiler.Config{Array: c.Array, SPM: c.SPM}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Array.Validate(); err != nil {
+		return err
+	}
+	if err := c.SPM.Validate(); err != nil {
+		return err
+	}
+	return c.Mem.Validate()
+}
+
+// Machine executes one program against a protection engine. It exposes a
+// block-granular stepping interface so a multi-NPU scheduler can interleave
+// machines on shared memory; Run drives a single machine to completion.
+type Machine struct {
+	prog *compiler.Program
+	eng  memprot.Engine
+
+	done    []uint64
+	pos     int
+	dmaFree uint64
+	peFree  uint64
+
+	// Active DMA instruction cursor.
+	active    int
+	segIdx    int
+	blockAddr uint64
+	segEnd    uint64
+	issueAt   uint64
+	maxDataAt uint64
+
+	// inflight is the DMA engine's outstanding-request window: block i
+	// may issue once block i-dmaOutstanding has cleared its channel, so
+	// transfers pipeline across memory channels without modelling an
+	// unbounded request queue.
+	inflight [dmaOutstanding]uint64
+	inflIdx  int
+
+	// iotlb, when non-nil, models the per-instruction IOMMU translation.
+	iotlb      *cache.Cache
+	walkCycles uint64
+	TLBMisses  uint64
+
+	computeBusy uint64
+	lastDone    uint64
+	blocksMoved uint64
+
+	dataOffset uint64
+	slotOffset uint64
+}
+
+// dmaOutstanding is the DMA engine's maximum outstanding block requests.
+const dmaOutstanding = 16
+
+// NewMachine prepares a machine; the engine may be shared across machines.
+func NewMachine(prog *compiler.Program, eng memprot.Engine) *Machine {
+	return NewMachineAt(prog, eng, 0, 0)
+}
+
+// NewMachineAt prepares a machine whose NPU context lives at a distinct
+// physical base: dataOffset relocates every tensor address and slotOffset
+// relocates the context's version-table slots. Multi-NPU systems give each
+// NPU its own region so shared metadata caches see true (conflicting)
+// working sets rather than accidentally shared lines.
+func NewMachineAt(prog *compiler.Program, eng memprot.Engine, dataOffset, slotOffset uint64) *Machine {
+	return &Machine{
+		prog:       prog,
+		eng:        eng,
+		done:       make([]uint64, len(prog.Trace.Instrs)),
+		active:     -1,
+		dataOffset: dataOffset,
+		slotOffset: slotOffset,
+	}
+}
+
+func (m *Machine) depsDone(in *isa.Instr) uint64 {
+	var t uint64
+	for _, d := range in.Deps {
+		if m.done[d] > t {
+			t = m.done[d]
+		}
+	}
+	return t
+}
+
+// retire completes an instruction, tracking the machine's finish time.
+func (m *Machine) retire(idx int, at uint64) {
+	m.done[idx] = at
+	if at > m.lastDone {
+		m.lastDone = at
+	}
+}
+
+// NextReady advances through compute instructions (which need no bus) and
+// returns the issue-ready time of the next memory block, or ok=false when
+// the trace is exhausted.
+func (m *Machine) NextReady() (ready uint64, ok bool) {
+	for m.active < 0 {
+		if m.pos >= len(m.prog.Trace.Instrs) {
+			return 0, false
+		}
+		in := &m.prog.Trace.Instrs[m.pos]
+		switch in.Op {
+		case isa.OpCompute, isa.OpPreload:
+			start := max64(m.peFree, m.depsDone(in))
+			end := start + in.Cycles
+			m.peFree = end
+			m.computeBusy += in.Cycles
+			m.retire(m.pos, end)
+			m.pos++
+		case isa.OpMvIn, isa.OpMvOut:
+			m.startDMA(m.pos, in)
+			m.pos++
+		default:
+			panic(fmt.Sprintf("npu: unknown op %v", in.Op))
+		}
+	}
+	return m.issueAt, true
+}
+
+// EnableTranslation attaches an IOMMU model to the machine.
+func (m *Machine) EnableTranslation(entries int, walkCycles uint64) {
+	m.iotlb = cache.New("iotlb", entries*4096, 4096, 4)
+	m.walkCycles = walkCycles
+}
+
+// translate runs the instruction's pages through the IOMMU (Fig. 11):
+// each TLB miss performs a page walk and EEPCM validation, serializing
+// the instruction's start.
+func (m *Machine) translate(start uint64, in *isa.Instr) uint64 {
+	if m.iotlb == nil {
+		return start
+	}
+	for _, seg := range in.Segments {
+		first := (seg.Addr + m.dataOffset) &^ 4095
+		for page := first; page < seg.Addr+m.dataOffset+seg.Bytes; page += 4096 {
+			if res := m.iotlb.Access(page, false); !res.Hit {
+				m.TLBMisses++
+				start += m.walkCycles
+			}
+		}
+	}
+	return start
+}
+
+// startDMA begins a memory instruction: the IOMMU validates the covered
+// pages, the software fetches the version number from the fully protected
+// region (Sec. IV-C), then the DMA engine streams the covered 64B blocks.
+func (m *Machine) startDMA(idx int, in *isa.Instr) {
+	start := max64(m.dmaFree, m.depsDone(in))
+	start = m.translate(start, in)
+	slot := memprot.VTableSlot(uint32(in.Tensor), in.Tile) + m.slotOffset
+	start = m.eng.VersionFetch(start, slot, in.Op == isa.OpMvOut)
+	m.active = idx
+	m.segIdx = 0
+	m.issueAt = start
+	m.maxDataAt = start
+	m.loadSegment()
+}
+
+// noteIssue records a block's channel-clear time and returns when the DMA
+// may issue its next request (the slot of the request dmaOutstanding ago).
+func (m *Machine) noteIssue(busFree uint64) uint64 {
+	m.inflight[m.inflIdx] = busFree
+	m.inflIdx = (m.inflIdx + 1) % dmaOutstanding
+	return m.inflight[m.inflIdx]
+}
+
+// loadSegment positions the block cursor at the current segment.
+func (m *Machine) loadSegment() {
+	seg := m.prog.Trace.Instrs[m.active].Segments[m.segIdx]
+	m.blockAddr = seg.Addr &^ (dram.BlockBytes - 1)
+	m.segEnd = seg.Addr + seg.Bytes
+}
+
+// ServeBlock pushes one block through the protection engine. Callers must
+// have obtained a ready time from NextReady first.
+func (m *Machine) ServeBlock() {
+	in := &m.prog.Trace.Instrs[m.active]
+	var busFree, dataAt uint64
+	if in.Op == isa.OpMvIn {
+		busFree, dataAt = m.eng.ReadBlock(m.issueAt, m.blockAddr+m.dataOffset, in.Version)
+	} else {
+		busFree, dataAt = m.eng.WriteBlock(m.issueAt, m.blockAddr+m.dataOffset, in.Version)
+	}
+	m.blocksMoved++
+	next := m.noteIssue(busFree)
+	if next < m.issueAt+1 {
+		next = m.issueAt + 1
+	}
+	m.issueAt = next
+	if dataAt > m.maxDataAt {
+		m.maxDataAt = dataAt
+	}
+
+	m.blockAddr += dram.BlockBytes
+	if m.blockAddr < m.segEnd {
+		return
+	}
+	m.segIdx++
+	if m.segIdx < len(in.Segments) {
+		m.loadSegment()
+		return
+	}
+	// Instruction complete: data validity gates dependents; the DMA
+	// engine itself is free once its issue window allows the next
+	// instruction's first block.
+	m.retire(m.active, m.maxDataAt)
+	m.dmaFree = m.issueAt
+	m.active = -1
+}
+
+// Run drives the machine to completion (single-NPU operation).
+func (m *Machine) Run() {
+	for {
+		if _, ok := m.NextReady(); !ok {
+			return
+		}
+		m.ServeBlock()
+	}
+}
+
+// Cycles returns the completion time of the last retired instruction.
+func (m *Machine) Cycles() uint64 { return m.lastDone }
+
+// ComputeBusy returns total PE-array busy cycles.
+func (m *Machine) ComputeBusy() uint64 { return m.computeBusy }
+
+// BlocksMoved returns the number of 64B blocks the DMA transferred.
+func (m *Machine) BlocksMoved() uint64 { return m.blocksMoved }
+
+// Utilization returns the PE array's busy fraction over the whole run —
+// the number protection overhead eats into (an unsecure-equal compute
+// time over a longer wall clock).
+func (m *Machine) Utilization() float64 {
+	if m.lastDone == 0 {
+		return 0
+	}
+	return float64(m.computeBusy) / float64(m.lastDone)
+}
+
+// LayerSpans returns, per model layer, the cycle at which its last
+// instruction retired — the per-layer breakdown behind the paper's
+// observation that embedding layers dominate sent/tf.
+func (m *Machine) LayerSpans() []uint64 {
+	spans := make([]uint64, len(m.prog.LayerLast))
+	for li, last := range m.prog.LayerLast {
+		var end uint64
+		for idx := m.prog.LayerFirst[li]; idx <= last; idx++ {
+			if m.done[idx] > end {
+				end = m.done[idx]
+			}
+		}
+		spans[li] = end
+	}
+	return spans
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	Scheme  memprot.Scheme
+	Cycles  uint64
+	Compute uint64
+	// Utilization is the PE array busy fraction.
+	Utilization float64
+	Traffic     stats.Traffic
+	Counter     stats.CacheStats
+	Hash        stats.CacheStats
+	MAC         stats.CacheStats
+	// VersionTablePeakBytes is the Sec. IV-D storage metric.
+	VersionTablePeakBytes int
+}
+
+// Run compiles nothing: it executes an already-compiled program under the
+// given scheme on a fresh bus/engine and returns the summary.
+func Run(prog *compiler.Program, scheme memprot.Scheme, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	bus := dram.NewBus(cfg.Mem)
+	eng, err := memprot.New(scheme, memprot.DefaultConfig(bus))
+	if err != nil {
+		return Result{}, err
+	}
+	m := NewMachine(prog, eng)
+	if cfg.TLBEntries > 0 {
+		m.EnableTranslation(cfg.TLBEntries, cfg.TLBWalkCycles)
+	}
+	m.Run()
+	eng.Flush(m.Cycles())
+	return Result{
+		Scheme:                scheme,
+		Cycles:                m.Cycles(),
+		Compute:               m.ComputeBusy(),
+		Utilization:           m.Utilization(),
+		Traffic:               *eng.Traffic(),
+		Counter:               *eng.CounterStats(),
+		Hash:                  *eng.HashStats(),
+		MAC:                   *eng.MACStats(),
+		VersionTablePeakBytes: prog.Table.PeakStorageBytes(),
+	}, nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

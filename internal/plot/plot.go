@@ -1,0 +1,147 @@
+// Package plot renders the experiment harness's figures as standalone SVG
+// grouped bar charts (stdlib only), so the reproduced evaluation can be
+// eyeballed against the paper's plots. The renderer is deliberately
+// minimal: grouped vertical bars, a y-axis with ticks, a reference line
+// at 1.0 (the unsecure normalization), and a legend.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one legend entry: a bar per category.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Chart describes one grouped bar chart.
+type Chart struct {
+	Title      string
+	Categories []string
+	Series     []Series
+	// RefLine draws a horizontal reference (0 disables). Normalized
+	// figures use 1.0.
+	RefLine float64
+	// YLabel annotates the y-axis.
+	YLabel string
+}
+
+// Validate reports structural problems.
+func (c *Chart) Validate() error {
+	if len(c.Categories) == 0 || len(c.Series) == 0 {
+		return fmt.Errorf("plot: empty chart %q", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Categories) {
+			return fmt.Errorf("plot: series %q has %d values for %d categories", s.Label, len(s.Values), len(c.Categories))
+		}
+	}
+	return nil
+}
+
+// palette holds fill colors per series (cycled).
+var palette = []string{"#4878a8", "#d1605e", "#6aa56e", "#e49444", "#8566a9", "#a57c5b"}
+
+const (
+	chartW   = 960
+	chartH   = 360
+	marginL  = 64
+	marginR  = 16
+	marginT  = 40
+	marginB  = 56
+	legendDY = 16
+)
+
+// niceMax rounds up to a pleasant axis maximum.
+func niceMax(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 1.2, 1.5, 2, 2.5, 3, 4, 5, 7.5, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// SVG renders the chart.
+func (c *Chart) SVG() (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	maxV := c.RefLine
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	top := niceMax(maxV * 1.05)
+
+	plotW := float64(chartW - marginL - marginR)
+	plotH := float64(chartH - marginT - marginB)
+	y := func(v float64) float64 { return marginT + plotH*(1-v/top) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", chartW, chartH)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", chartW, chartH)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`+"\n", marginL, escape(c.Title))
+
+	// Axis + ticks.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n", marginL, y(0), chartW-marginR, y(0))
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%.1f" stroke="black"/>`+"\n", marginL, marginT, marginL, y(0))
+	for i := 0; i <= 5; i++ {
+		v := top * float64(i) / 5
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", marginL, y(v), chartW-marginR, y(v))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%.2f</text>`+"\n", marginL-6, y(v)+4, v)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%d" font-size="11" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`+"\n",
+			marginT+int(plotH)/2, marginT+int(plotH)/2, escape(c.YLabel))
+	}
+
+	// Bars.
+	groups := len(c.Categories)
+	groupW := plotW / float64(groups)
+	barW := groupW * 0.8 / float64(len(c.Series))
+	for gi, cat := range c.Categories {
+		gx := float64(marginL) + groupW*float64(gi)
+		for si, s := range c.Series {
+			v := s.Values[gi]
+			x := gx + groupW*0.1 + barW*float64(si)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s: %.3f</title></rect>`+"\n",
+				x, y(v), barW, y(0)-y(v), palette[si%len(palette)], escape(s.Label), escape(cat), v)
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			gx+groupW/2, y(0)+16, escape(cat))
+	}
+
+	// Reference line above the bars.
+	if c.RefLine > 0 {
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#333" stroke-dasharray="5,4"/>`+"\n",
+			marginL, y(c.RefLine), chartW-marginR, y(c.RefLine))
+	}
+
+	// Legend.
+	lx := marginL
+	ly := chartH - 14
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n", lx, ly-10, palette[si%len(palette)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n", lx+16, ly, escape(s.Label))
+		lx += 16 + 8*len(s.Label) + 24
+	}
+	_ = legendDY
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,79 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Chart {
+	return &Chart{
+		Title:      "Figure 14 (small)",
+		Categories: []string{"goo", "res", "sent"},
+		Series: []Series{
+			{Label: "baseline", Values: []float64{1.15, 1.18, 1.48}},
+			{Label: "tnpu", Values: []float64{1.11, 1.12, 1.19}},
+		},
+		RefLine: 1.0,
+		YLabel:  "normalized execution time",
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg, err := sample().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "</svg>", "Figure 14", "baseline", "tnpu", "goo", "sent", "stroke-dasharray"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	// One rect per (series, category) plus background and legend swatches.
+	if got := strings.Count(svg, "<rect"); got != 1+6+2 {
+		t.Errorf("rect count = %d, want 9", got)
+	}
+	// Tooltips carry the values.
+	if !strings.Contains(svg, "1.480") {
+		t.Error("bar value tooltip missing")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c := sample()
+	c.Series[0].Values = c.Series[0].Values[:2]
+	if _, err := c.SVG(); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := (&Chart{Title: "x"}).SVG(); err == nil {
+		t.Error("empty chart accepted")
+	}
+}
+
+func TestNiceMax(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0.9, 1}, {1.01, 1.2}, {1.4, 1.5}, {3.6, 4}, {8, 10}, {0, 1},
+	}
+	for _, c := range cases {
+		if got := niceMax(c.in); got != c.want {
+			t.Errorf("niceMax(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a<b&"c"`); got != "a&lt;b&amp;&quot;c&quot;" {
+		t.Errorf("escape = %q", got)
+	}
+}
+
+func TestNoRefLine(t *testing.T) {
+	c := sample()
+	c.RefLine = 0
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "stroke-dasharray") {
+		t.Error("reference line drawn despite RefLine=0")
+	}
+}

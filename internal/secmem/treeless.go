@@ -1,0 +1,155 @@
+package secmem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrIntegrity is returned when MAC verification fails on a read: the data
+// was tampered with, relocated, or replayed from a stale version.
+var ErrIntegrity = errors.New("secmem: integrity violation (MAC mismatch)")
+
+// snapshot is one block's externally visible state — what a physical
+// attacker on the DRAM bus can observe and replace.
+type snapshot struct {
+	ct  [BlockBytes]byte
+	mac [MACBytes]byte
+}
+
+// TreelessMemory is the functional model of the TNPU tree-less protected
+// DRAM region: AES-XTS ciphertext plus an 8-byte versioned MAC per 64-byte
+// block. There are no counters and no integrity tree; replay protection
+// comes entirely from the version number the reader supplies, which lives
+// in the fully protected enclave region (Sec. IV-C).
+//
+// The zero value is unusable; construct with NewTreelessMemory. Not safe
+// for concurrent use: the hardware it models serializes block operations
+// at the memory-controller security engine.
+type TreelessMemory struct {
+	xts    *XTSEngine
+	mac    *MACEngine
+	blocks map[uint64]snapshot
+}
+
+// NewTreelessMemory creates a protected region using the given XTS key
+// (32 or 64 bytes) and MAC key.
+func NewTreelessMemory(xtsKey, macKey []byte) (*TreelessMemory, error) {
+	xts, err := NewXTSEngine(xtsKey)
+	if err != nil {
+		return nil, err
+	}
+	return &TreelessMemory{
+		xts:    xts,
+		mac:    NewMACEngine(macKey),
+		blocks: make(map[uint64]snapshot),
+	}, nil
+}
+
+func checkAligned(addr uint64) {
+	if addr%BlockBytes != 0 {
+		panic(fmt.Sprintf("secmem: block address %#x not %dB aligned", addr, BlockBytes))
+	}
+}
+
+// WriteBlock encrypts a 64-byte plaintext block and stores its ciphertext
+// and version-keyed MAC, modelling the mvout path of Fig. 12(a).
+func (m *TreelessMemory) WriteBlock(addr uint64, plaintext []byte, version uint64) {
+	checkAligned(addr)
+	if len(plaintext) != BlockBytes {
+		panic(fmt.Sprintf("secmem: write block must be %dB, got %d", BlockBytes, len(plaintext)))
+	}
+	var s snapshot
+	copy(s.ct[:], m.xts.Encrypt(addr, plaintext))
+	s.mac = m.mac.MAC(s.ct[:], addr, version)
+	m.blocks[addr] = s
+}
+
+// ReadBlock fetches, MAC-verifies (against the expected version) and
+// decrypts a block, modelling the mvin path of Fig. 12(b). A missing block
+// or any mismatch of (content, address, version) returns ErrIntegrity.
+func (m *TreelessMemory) ReadBlock(addr, version uint64) ([]byte, error) {
+	checkAligned(addr)
+	s, ok := m.blocks[addr]
+	if !ok {
+		return nil, fmt.Errorf("%w: no block at %#x", ErrIntegrity, addr)
+	}
+	if !m.mac.Verify(s.ct[:], addr, version, s.mac) {
+		return nil, fmt.Errorf("%w: block %#x, expected version %d", ErrIntegrity, addr, version)
+	}
+	return m.xts.Decrypt(addr, s.ct[:]), nil
+}
+
+// Write stores an arbitrary-length buffer starting at a block-aligned
+// address, zero-padding the final partial block. All blocks carry the same
+// version, as all blocks of a tensor/tile written by one mvout do.
+func (m *TreelessMemory) Write(addr uint64, data []byte, version uint64) {
+	checkAligned(addr)
+	var block [BlockBytes]byte
+	for off := 0; off < len(data); off += BlockBytes {
+		n := copy(block[:], data[off:])
+		for i := n; i < BlockBytes; i++ {
+			block[i] = 0
+		}
+		m.WriteBlock(addr+uint64(off), block[:], version)
+	}
+}
+
+// Read fetches size bytes starting at a block-aligned address, verifying
+// every covered block against version.
+func (m *TreelessMemory) Read(addr uint64, size int, version uint64) ([]byte, error) {
+	checkAligned(addr)
+	out := make([]byte, 0, size)
+	for off := 0; off < size; off += BlockBytes {
+		b, err := m.ReadBlock(addr+uint64(off), version)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+	}
+	return out[:size], nil
+}
+
+// --- Physical-attacker surface (used by security tests and examples) ---
+
+// Snapshot returns the raw ciphertext and MAC of a block as visible on the
+// memory bus, and whether the block exists. This is what a bus-snooping
+// attacker captures.
+func (m *TreelessMemory) Snapshot(addr uint64) (ct [BlockBytes]byte, mac [MACBytes]byte, ok bool) {
+	checkAligned(addr)
+	s, ok := m.blocks[addr]
+	return s.ct, s.mac, ok
+}
+
+// Restore overwrites a block's raw ciphertext and MAC — a replay attack
+// replacing current data with a previously captured snapshot.
+func (m *TreelessMemory) Restore(addr uint64, ct [BlockBytes]byte, mac [MACBytes]byte) {
+	checkAligned(addr)
+	m.blocks[addr] = snapshot{ct: ct, mac: mac}
+}
+
+// Corrupt flips a single bit of a block's stored ciphertext — a tampering
+// attack on DRAM contents.
+func (m *TreelessMemory) Corrupt(addr uint64, bit uint) {
+	checkAligned(addr)
+	s, ok := m.blocks[addr]
+	if !ok {
+		panic(fmt.Sprintf("secmem: corrupt of absent block %#x", addr))
+	}
+	s.ct[bit/8%BlockBytes] ^= 1 << (bit % 8)
+	m.blocks[addr] = s
+}
+
+// Relocate copies the raw (ciphertext, MAC) of src over dst — a splicing
+// attack moving valid data to a different address.
+func (m *TreelessMemory) Relocate(src, dst uint64) {
+	checkAligned(src)
+	checkAligned(dst)
+	s, ok := m.blocks[src]
+	if !ok {
+		panic(fmt.Sprintf("secmem: relocate of absent block %#x", src))
+	}
+	m.blocks[dst] = s
+}
+
+// Blocks returns the number of resident blocks (for tests).
+func (m *TreelessMemory) Blocks() int { return len(m.blocks) }

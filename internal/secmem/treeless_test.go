@@ -1,0 +1,163 @@
+package secmem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func newMem(t *testing.T) *TreelessMemory {
+	t.Helper()
+	m, err := NewTreelessMemory(testKey32, testKey16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestReadYourWrite(t *testing.T) {
+	m := newMem(t)
+	pt := mkBlock(1)
+	m.WriteBlock(0x1000, pt, 7)
+	got, err := m.ReadBlock(0x1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatal("read-your-write mismatch")
+	}
+}
+
+func TestWrongVersionDetected(t *testing.T) {
+	m := newMem(t)
+	m.WriteBlock(0, mkBlock(1), 7)
+	if _, err := m.ReadBlock(0, 8); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("stale/future version must fail integrity, got %v", err)
+	}
+}
+
+func TestReplayAttackDetected(t *testing.T) {
+	m := newMem(t)
+	addr := uint64(0x2000)
+	// Version 1 data written; attacker snapshots bus.
+	m.WriteBlock(addr, mkBlock(1), 1)
+	ct, mac, ok := m.Snapshot(addr)
+	if !ok {
+		t.Fatal("snapshot failed")
+	}
+	// Legitimate update to version 2.
+	m.WriteBlock(addr, mkBlock(2), 2)
+	// Attacker replays the old (ciphertext, MAC) pair — both are
+	// internally consistent, only the version disagrees.
+	m.Restore(addr, ct, mac)
+	if _, err := m.ReadBlock(addr, 2); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("replayed stale block must be detected, got %v", err)
+	}
+	// Sanity: the stale pair still verifies under its own old version —
+	// the version number is what provides freshness.
+	if _, err := m.ReadBlock(addr, 1); err != nil {
+		t.Fatalf("stale pair should be self-consistent at version 1: %v", err)
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	m := newMem(t)
+	m.WriteBlock(0, mkBlock(1), 1)
+	m.Corrupt(0, 13)
+	if _, err := m.ReadBlock(0, 1); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("bit flip must be detected, got %v", err)
+	}
+}
+
+func TestRelocationDetected(t *testing.T) {
+	m := newMem(t)
+	m.WriteBlock(0x000, mkBlock(1), 1)
+	m.WriteBlock(0x40, mkBlock(2), 1)
+	m.Relocate(0x000, 0x40) // splice valid block to another address
+	if _, err := m.ReadBlock(0x40, 1); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("spliced block must be detected, got %v", err)
+	}
+}
+
+func TestMissingBlock(t *testing.T) {
+	m := newMem(t)
+	if _, err := m.ReadBlock(0x40, 0); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("absent block read must fail, got %v", err)
+	}
+}
+
+func TestMultiBlockWriteRead(t *testing.T) {
+	m := newMem(t)
+	data := make([]byte, 300) // 4.7 blocks -> padded to 5
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	m.Write(0x4000, data, 9)
+	if m.Blocks() != 5 {
+		t.Fatalf("resident blocks = %d, want 5", m.Blocks())
+	}
+	got, err := m.Read(0x4000, len(data), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("multi-block round trip mismatch")
+	}
+}
+
+func TestMultiBlockPartialTamper(t *testing.T) {
+	m := newMem(t)
+	data := make([]byte, 256)
+	m.Write(0, data, 1)
+	m.Corrupt(128, 0) // third block
+	if _, err := m.Read(0, 256, 1); !errors.Is(err, ErrIntegrity) {
+		t.Fatal("tamper in any covered block must fail the whole read")
+	}
+}
+
+func TestUnalignedPanics(t *testing.T) {
+	m := newMem(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.WriteBlock(1, mkBlock(0), 0)
+}
+
+func TestCorruptAbsentPanics(t *testing.T) {
+	m := newMem(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Corrupt(0x40, 0)
+}
+
+// Property: for arbitrary payloads and versions, writes followed by reads
+// with the matching version succeed and reproduce the payload; any other
+// version fails.
+func TestTreelessRoundTripProperty(t *testing.T) {
+	m, err := NewTreelessMemory(testKey32, testKey16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(payload []byte, addrRaw uint16, ver uint8) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		addr := uint64(addrRaw) * BlockBytes
+		m.Write(addr, payload, uint64(ver))
+		got, err := m.Read(addr, len(payload), uint64(ver))
+		if err != nil || !bytes.Equal(got, payload) {
+			return false
+		}
+		_, err = m.Read(addr, len(payload), uint64(ver)+1)
+		return errors.Is(err, ErrIntegrity)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

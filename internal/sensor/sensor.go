@@ -1,0 +1,136 @@
+// Package sensor implements the secure sensor→CPU channel the paper's
+// end-to-end flow assumes (Sec. III-A): sensor devices encrypt their
+// samples and protect their integrity before the data crosses the
+// untrusted transport into the CPU enclave, Waspmote/Libelium-style. The
+// channel uses AES-GCM under a per-sensor key derived from the device
+// identity, with strictly monotonic sequence numbers so captured packets
+// cannot be replayed or reordered.
+package sensor
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors surfaced by the receiving enclave.
+var (
+	// ErrChannel covers authentication failures: tampered ciphertext,
+	// spliced sensor identity, or a wrong key.
+	ErrChannel = errors.New("sensor: channel authentication failed")
+	// ErrReplay marks packets at or behind the receiver's sequence window.
+	ErrReplay = errors.New("sensor: replayed or reordered packet")
+)
+
+// Packet is one protected sample in flight on the untrusted transport.
+type Packet struct {
+	SensorID   uint32
+	Seq        uint64
+	Ciphertext []byte // AES-GCM sealed: includes the tag
+}
+
+// DeriveKey derives a sensor's channel key from a provisioning secret and
+// the sensor identity (so one compromised sensor key does not expose the
+// others').
+func DeriveKey(provisioning []byte, sensorID uint32) []byte {
+	h := hmac.New(sha256.New, provisioning)
+	var id [4]byte
+	binary.LittleEndian.PutUint32(id[:], sensorID)
+	h.Write(id[:])
+	return h.Sum(nil)[:16]
+}
+
+func newAEAD(key []byte) (cipher.AEAD, error) {
+	blk, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("sensor: %w", err)
+	}
+	return cipher.NewGCM(blk)
+}
+
+// nonce packs the sensor id and sequence number into the GCM nonce: each
+// (key, nonce) pair is used exactly once because Seq strictly increases.
+func nonce(sensorID uint32, seq uint64) []byte {
+	n := make([]byte, 12)
+	binary.LittleEndian.PutUint32(n[0:4], sensorID)
+	binary.LittleEndian.PutUint64(n[4:12], seq)
+	return n
+}
+
+// Sensor is the capture-side endpoint.
+type Sensor struct {
+	id   uint32
+	aead cipher.AEAD
+	seq  uint64
+}
+
+// NewSensor creates a sensor endpoint with its derived channel key.
+func NewSensor(id uint32, key []byte) (*Sensor, error) {
+	aead, err := newAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Sensor{id: id, aead: aead}, nil
+}
+
+// Capture seals one sample. The sensor id is bound as associated data, so
+// a packet spliced onto another sensor's stream fails authentication.
+func (s *Sensor) Capture(sample []byte) Packet {
+	s.seq++
+	var ad [4]byte
+	binary.LittleEndian.PutUint32(ad[:], s.id)
+	return Packet{
+		SensorID:   s.id,
+		Seq:        s.seq,
+		Ciphertext: s.aead.Seal(nil, nonce(s.id, s.seq), sample, ad[:]),
+	}
+}
+
+// Receiver is the CPU-enclave endpoint accepting packets from many
+// sensors.
+type Receiver struct {
+	provisioning []byte
+	aeads        map[uint32]cipher.AEAD
+	lastSeq      map[uint32]uint64
+}
+
+// NewReceiver creates a receiver holding the provisioning secret (which
+// lives inside the enclave).
+func NewReceiver(provisioning []byte) *Receiver {
+	p := make([]byte, len(provisioning))
+	copy(p, provisioning)
+	return &Receiver{
+		provisioning: p,
+		aeads:        make(map[uint32]cipher.AEAD),
+		lastSeq:      make(map[uint32]uint64),
+	}
+}
+
+// Accept authenticates, replay-checks, and decrypts one packet, returning
+// the plaintext sample.
+func (r *Receiver) Accept(p Packet) ([]byte, error) {
+	aead, ok := r.aeads[p.SensorID]
+	if !ok {
+		var err error
+		aead, err = newAEAD(DeriveKey(r.provisioning, p.SensorID))
+		if err != nil {
+			return nil, err
+		}
+		r.aeads[p.SensorID] = aead
+	}
+	if p.Seq <= r.lastSeq[p.SensorID] {
+		return nil, fmt.Errorf("%w: sensor %d seq %d (last %d)", ErrReplay, p.SensorID, p.Seq, r.lastSeq[p.SensorID])
+	}
+	var ad [4]byte
+	binary.LittleEndian.PutUint32(ad[:], p.SensorID)
+	sample, err := aead.Open(nil, nonce(p.SensorID, p.Seq), p.Ciphertext, ad[:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: sensor %d seq %d", ErrChannel, p.SensorID, p.Seq)
+	}
+	r.lastSeq[p.SensorID] = p.Seq
+	return sample, nil
+}

@@ -1,0 +1,136 @@
+package sensor
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+var prov = []byte("provisioning-secret-0123456789ab")
+
+func pair(t *testing.T, id uint32) (*Sensor, *Receiver) {
+	t.Helper()
+	s, err := NewSensor(id, DeriveKey(prov, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, NewReceiver(prov)
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, r := pair(t, 7)
+	sample := []byte("camera frame #1")
+	got, err := r.Accept(s.Capture(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, sample) {
+		t.Fatal("sample mismatch")
+	}
+	// Stream continues.
+	if _, err := r.Accept(s.Capture([]byte("frame #2"))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	s, r := pair(t, 7)
+	p := s.Capture([]byte("frame"))
+	p.Ciphertext[0] ^= 1
+	if _, err := r.Accept(p); !errors.Is(err, ErrChannel) {
+		t.Fatalf("tampered packet accepted: %v", err)
+	}
+}
+
+func TestReplayDetected(t *testing.T) {
+	s, r := pair(t, 7)
+	p1 := s.Capture([]byte("frame 1"))
+	if _, err := r.Accept(p1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Accept(p1); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replayed packet accepted: %v", err)
+	}
+}
+
+func TestReorderRejected(t *testing.T) {
+	s, r := pair(t, 7)
+	p1 := s.Capture([]byte("frame 1"))
+	p2 := s.Capture([]byte("frame 2"))
+	if _, err := r.Accept(p2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Accept(p1); !errors.Is(err, ErrReplay) {
+		t.Fatalf("stale packet accepted after newer one: %v", err)
+	}
+}
+
+func TestCrossSensorSpliceRejected(t *testing.T) {
+	s1, r := pair(t, 1)
+	p := s1.Capture([]byte("frame"))
+	p.SensorID = 2 // attacker relabels the stream
+	if _, err := r.Accept(p); !errors.Is(err, ErrChannel) {
+		t.Fatalf("spliced sensor identity accepted: %v", err)
+	}
+}
+
+func TestWrongProvisioningRejected(t *testing.T) {
+	s, _ := pair(t, 7)
+	evil := NewReceiver([]byte("wrong-provisioning-secret-000000"))
+	if _, err := evil.Accept(s.Capture([]byte("frame"))); !errors.Is(err, ErrChannel) {
+		t.Fatalf("foreign receiver decrypted the stream: %v", err)
+	}
+}
+
+func TestKeyDerivationSeparatesSensors(t *testing.T) {
+	if bytes.Equal(DeriveKey(prov, 1), DeriveKey(prov, 2)) {
+		t.Fatal("sensor keys must differ")
+	}
+	if len(DeriveKey(prov, 1)) != 16 {
+		t.Fatal("want AES-128 key")
+	}
+}
+
+func TestManySensorsOneReceiver(t *testing.T) {
+	r := NewReceiver(prov)
+	for id := uint32(1); id <= 5; id++ {
+		s, err := NewSensor(id, DeriveKey(prov, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := r.Accept(s.Capture([]byte{byte(id), byte(i)})); err != nil {
+				t.Fatalf("sensor %d packet %d: %v", id, i, err)
+			}
+		}
+	}
+}
+
+func TestBadKeySize(t *testing.T) {
+	if _, err := NewSensor(1, []byte("short")); err == nil {
+		t.Fatal("short key accepted")
+	}
+}
+
+// Property: arbitrary samples round-trip; any single-byte corruption of
+// the ciphertext is rejected.
+func TestChannelProperty(t *testing.T) {
+	s, r := pair(t, 9)
+	f := func(sample []byte, flip uint16) bool {
+		p := s.Capture(sample)
+		if len(p.Ciphertext) > 0 && flip%2 == 0 {
+			mut := p
+			mut.Ciphertext = append([]byte(nil), p.Ciphertext...)
+			mut.Ciphertext[int(flip)%len(mut.Ciphertext)] ^= 1 | byte(flip>>8)
+			if _, err := r.Accept(mut); err == nil {
+				return false
+			}
+		}
+		got, err := r.Accept(p)
+		return err == nil && bytes.Equal(got, sample)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,43 @@
+// Package spm models the NPU scratchpad memory: a software-managed on-chip
+// buffer (480KB Small / 1MB Large, Table II) whose capacity bounds tile
+// sizes and whose double buffering lets mvin/mvout overlap compute
+// (Sec. II-C).
+package spm
+
+import "fmt"
+
+// SPM is a scratchpad capacity model.
+type SPM struct {
+	CapacityBytes uint64
+}
+
+// Validate reports configuration errors.
+func (s SPM) Validate() error {
+	if s.CapacityBytes == 0 {
+		return fmt.Errorf("spm: zero capacity")
+	}
+	return nil
+}
+
+// Fits reports whether buffers of the given sizes co-reside.
+func (s SPM) Fits(sizes ...uint64) bool {
+	var total uint64
+	for _, sz := range sizes {
+		total += sz
+	}
+	return total <= s.CapacityBytes
+}
+
+// TileBudget returns the per-buffer byte budget when all listed buffers
+// are double-buffered: each logical buffer needs two copies so the DMA can
+// fill the next tile while the PEs consume the current one.
+func (s SPM) TileBudget(buffers int) uint64 {
+	if buffers <= 0 {
+		panic(fmt.Sprintf("spm: non-positive buffer count %d", buffers))
+	}
+	return s.CapacityBytes / uint64(2*buffers)
+}
+
+// StreamChunk returns the transfer chunk size for streaming layers
+// (eltwise/pool/gather staging): half the scratchpad, double buffered.
+func (s SPM) StreamChunk() uint64 { return s.CapacityBytes / 2 }

@@ -1,0 +1,45 @@
+package spm
+
+import "testing"
+
+func TestValidate(t *testing.T) {
+	if err := (SPM{480 << 10}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (SPM{}).Validate(); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestFits(t *testing.T) {
+	s := SPM{1000}
+	if !s.Fits(400, 600) {
+		t.Error("exact fit rejected")
+	}
+	if s.Fits(400, 601) {
+		t.Error("overflow accepted")
+	}
+	if !s.Fits() {
+		t.Error("empty set rejected")
+	}
+}
+
+func TestTileBudget(t *testing.T) {
+	s := SPM{480 << 10}
+	// Three double-buffered operands (A, B, C): capacity / 6.
+	if got := s.TileBudget(3); got != (480<<10)/6 {
+		t.Errorf("TileBudget(3) = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero buffers")
+		}
+	}()
+	s.TileBudget(0)
+}
+
+func TestStreamChunk(t *testing.T) {
+	if got := (SPM{1 << 20}).StreamChunk(); got != 512<<10 {
+		t.Errorf("StreamChunk = %d", got)
+	}
+}

@@ -1,0 +1,88 @@
+// Package systolic provides the analytical timing model for a systolic PE
+// array executing GEMM tiles, in the SCALE-Sim tradition the paper's
+// simulator builds on (Sec. V-A): an output-stationary dataflow where each
+// array pass costs the reduction depth plus pipeline fill and drain.
+package systolic
+
+import "fmt"
+
+// Dataflow selects the systolic mapping (SCALE-Sim's OS/WS axes).
+type Dataflow uint8
+
+const (
+	// OutputStationary keeps partial sums in the PEs while inputs and
+	// weights stream — the default mapping (used by the paper's two
+	// commercial reference designs).
+	OutputStationary Dataflow = iota
+	// WeightStationary pins a weight tile in the array and streams the
+	// activations — cheaper refills when reductions are deep but output
+	// tiles must drain per pass.
+	WeightStationary
+)
+
+// String names the dataflow.
+func (d Dataflow) String() string {
+	if d == WeightStationary {
+		return "weight-stationary"
+	}
+	return "output-stationary"
+}
+
+// Array describes the PE grid (32x32 for Small NPU, 45x45 for Large).
+type Array struct {
+	Rows, Cols int
+	// Flow selects the dataflow; the zero value is OutputStationary.
+	Flow Dataflow
+}
+
+// Validate reports configuration errors.
+func (a Array) Validate() error {
+	if a.Rows <= 0 || a.Cols <= 0 {
+		return fmt.Errorf("systolic: non-positive array %dx%d", a.Rows, a.Cols)
+	}
+	return nil
+}
+
+// PEs returns the processing-element count.
+func (a Array) PEs() int { return a.Rows * a.Cols }
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// TileCycles returns the cycles to compute an m×n output tile with
+// reduction depth k on the array.
+//
+// Output-stationary: the tile folds into ceil(m/Rows)*ceil(n/Cols) array
+// passes, each costing k (streaming the reduction) plus Rows+Cols-2
+// fill/drain cycles.
+//
+// Weight-stationary: the weight tile folds into ceil(k/Rows)*ceil(n/Cols)
+// pinned configurations, each streaming the m activation rows plus the
+// same fill/drain.
+func (a Array) TileCycles(m, k, n int) uint64 {
+	if m <= 0 || k <= 0 || n <= 0 {
+		panic(fmt.Sprintf("systolic: non-positive GEMM tile %dx%dx%d", m, k, n))
+	}
+	fillDrain := uint64(a.Rows + a.Cols - 2)
+	if a.Flow == WeightStationary {
+		folds := uint64(ceilDiv(k, a.Rows)) * uint64(ceilDiv(n, a.Cols))
+		return folds * (uint64(m) + fillDrain)
+	}
+	folds := uint64(ceilDiv(m, a.Rows)) * uint64(ceilDiv(n, a.Cols))
+	return folds * (uint64(k) + fillDrain)
+}
+
+// VectorCycles returns cycles for an element-wise pass over elems elements
+// using one array row as a vector unit.
+func (a Array) VectorCycles(elems int) uint64 {
+	if elems <= 0 {
+		panic(fmt.Sprintf("systolic: non-positive vector op %d", elems))
+	}
+	return uint64(ceilDiv(elems, a.Cols))
+}
+
+// Utilization returns the fraction of PE-cycles doing useful MACs for an
+// m×k×n tile: useful work m*k*n over PEs*TileCycles.
+func (a Array) Utilization(m, k, n int) float64 {
+	cycles := a.TileCycles(m, k, n)
+	return float64(uint64(m)*uint64(k)*uint64(n)) / (float64(a.PEs()) * float64(cycles))
+}

@@ -1,0 +1,132 @@
+package systolic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (Array{Rows: 32, Cols: 32}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Array{Rows: 0, Cols: 32}).Validate(); err == nil {
+		t.Error("zero rows accepted")
+	}
+}
+
+func TestPEs(t *testing.T) {
+	if (Array{Rows: 45, Cols: 45}).PEs() != 2025 {
+		t.Error("Large NPU PE count wrong")
+	}
+}
+
+func TestTileCyclesSingleFold(t *testing.T) {
+	a := Array{Rows: 32, Cols: 32}
+	// Tile fits in one pass: k + R + C - 2.
+	if got := a.TileCycles(32, 100, 32); got != 100+32+32-2 {
+		t.Errorf("single-fold cycles = %d, want %d", got, 162)
+	}
+	// Smaller-than-array tile costs the same pass.
+	if got := a.TileCycles(1, 100, 1); got != 162 {
+		t.Errorf("tiny tile cycles = %d, want 162", got)
+	}
+}
+
+func TestTileCyclesFolds(t *testing.T) {
+	a := Array{Rows: 32, Cols: 32}
+	// 64x64 output = 4 folds.
+	if got := a.TileCycles(64, 10, 64); got != 4*(10+62) {
+		t.Errorf("4-fold cycles = %d, want %d", got, 4*72)
+	}
+	// 33 rows folds to 2.
+	if got := a.TileCycles(33, 10, 32); got != 2*72 {
+		t.Errorf("ragged fold cycles = %d, want %d", got, 2*72)
+	}
+}
+
+func TestVectorCycles(t *testing.T) {
+	a := Array{Rows: 32, Cols: 32}
+	if got := a.VectorCycles(64); got != 2 {
+		t.Errorf("VectorCycles(64) = %d, want 2", got)
+	}
+	if got := a.VectorCycles(1); got != 1 {
+		t.Errorf("VectorCycles(1) = %d, want 1", got)
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	a := Array{Rows: 32, Cols: 32}
+	// Perfectly matched large-k tile approaches full utilization.
+	u := a.Utilization(32, 4096, 32)
+	if u < 0.95 || u > 1 {
+		t.Errorf("matched utilization = %v", u)
+	}
+	// A 1x1 output tile wastes almost the whole array.
+	if u := a.Utilization(1, 64, 1); u > 0.01 {
+		t.Errorf("tiny tile utilization = %v, want <1%%", u)
+	}
+}
+
+func TestPanicOnBadDims(t *testing.T) {
+	a := Array{Rows: 32, Cols: 32}
+	for _, fn := range []func(){
+		func() { a.TileCycles(0, 1, 1) },
+		func() { a.TileCycles(1, 0, 1) },
+		func() { a.TileCycles(1, 1, -1) },
+		func() { a.VectorCycles(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: cycles scale monotonically with each dimension and utilization
+// stays in (0, 1].
+func TestMonotoneProperty(t *testing.T) {
+	a := Array{Rows: 16, Cols: 16}
+	f := func(mr, kr, nr uint8) bool {
+		m, k, n := int(mr%64)+1, int(kr%64)+1, int(nr%64)+1
+		base := a.TileCycles(m, k, n)
+		if a.TileCycles(m+1, k, n) < base || a.TileCycles(m, k+1, n) < base || a.TileCycles(m, k, n+1) < base {
+			return false
+		}
+		u := a.Utilization(m, k, n)
+		return u > 0 && u <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataflowString(t *testing.T) {
+	if OutputStationary.String() != "output-stationary" || WeightStationary.String() != "weight-stationary" {
+		t.Error("dataflow names wrong")
+	}
+}
+
+func TestWeightStationaryCycles(t *testing.T) {
+	ws := Array{Rows: 32, Cols: 32, Flow: WeightStationary}
+	// One pinned weight tile (k<=32, n<=32): m + fill/drain.
+	if got := ws.TileCycles(100, 32, 32); got != 100+62 {
+		t.Errorf("WS single fold = %d, want 162", got)
+	}
+	// Deep reduction folds over k.
+	if got := ws.TileCycles(100, 64, 32); got != 2*(100+62) {
+		t.Errorf("WS k-fold = %d, want %d", got, 2*162)
+	}
+	// With tall m and shallow k, WS beats OS; with deep k and short m,
+	// OS beats WS — the classic trade.
+	os := Array{Rows: 32, Cols: 32}
+	if ws.TileCycles(1024, 32, 32) >= os.TileCycles(1024, 32, 32) {
+		t.Error("WS should win on tall-m shallow-k tiles")
+	}
+	if os.TileCycles(32, 1024, 32) >= ws.TileCycles(32, 1024, 32) {
+		t.Error("OS should win on deep-k short-m tiles")
+	}
+}

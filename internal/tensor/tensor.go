@@ -1,0 +1,240 @@
+// Package tensor models tensors as the unit of NPU data flow and
+// implements the software-managed version-number table at the heart of the
+// tree-less scheme (Sec. III-C, IV-D): one version number per tensor,
+// expanded to per-tile numbers while a layer updates the tensor tile by
+// tile (Fig. 9), then merged back to a single number once every tile has
+// been written the same number of times (Fig. 13b). The table lives in the
+// fully protected enclave region; its storage footprint and access count
+// feed the timing model.
+package tensor
+
+import (
+	"fmt"
+
+	"tnpu/internal/dram"
+)
+
+// ID identifies a tensor within one NPU context.
+type ID uint32
+
+// Tensor describes one tensor resident in the NPU memory region.
+type Tensor struct {
+	ID    ID
+	Name  string
+	Addr  uint64 // base physical address, 64B aligned
+	Bytes uint64
+}
+
+// Blocks returns the number of 64B memory blocks the tensor occupies.
+func (t Tensor) Blocks() uint64 {
+	return (t.Bytes + dram.BlockBytes - 1) / dram.BlockBytes
+}
+
+// End returns the first address past the tensor.
+func (t Tensor) End() uint64 { return t.Addr + t.Bytes }
+
+// MaxTiles bounds the tile expansion of one tensor: the version-table
+// address layout reserves this many 8-byte slots per tensor, and the
+// compiler falls back to tensor-unit versioning for layers that would
+// exceed it.
+const MaxTiles = 256
+
+// entry is one version-table row. A nil tiles slice means the tensor is in
+// tensor-unit (merged) state; otherwise each tile tracks its own version.
+type entry struct {
+	version uint64
+	tiles   []uint64
+}
+
+// entryHeaderBytes models the fully-protected-region storage of one table
+// row: a 4-byte tensor id plus an 8-byte tensor-unit version number.
+const entryHeaderBytes = 12
+
+// tileEntryBytes is the storage per expanded tile version number.
+const tileEntryBytes = 8
+
+// Table is the version-number table kept in the fully protected region by
+// the CPU-side software. It is not safe for concurrent use: the paper's
+// model has a single CPU enclave thread driving each NPU context.
+type Table struct {
+	entries map[ID]*entry
+
+	// reads/writes count table accesses; the timing model converts them
+	// into fully-protected-region memory traffic.
+	reads  uint64
+	writes uint64
+
+	peakBytes int
+}
+
+// NewTable creates an empty version table.
+func NewTable() *Table {
+	return &Table{entries: make(map[ID]*entry)}
+}
+
+// Register adds a tensor with version 0 (freshly allocated, never written).
+// Registering an existing id panics: tensor ids are compiler-assigned and
+// unique.
+func (t *Table) Register(id ID) {
+	if _, ok := t.entries[id]; ok {
+		panic(fmt.Sprintf("tensor: duplicate registration of id %d", id))
+	}
+	t.entries[id] = &entry{}
+	t.writes++
+	t.notePeak()
+}
+
+// Registered reports whether id exists.
+func (t *Table) Registered(id ID) bool {
+	_, ok := t.entries[id]
+	return ok
+}
+
+func (t *Table) get(id ID) *entry {
+	e, ok := t.entries[id]
+	if !ok {
+		panic(fmt.Sprintf("tensor: unknown tensor id %d", id))
+	}
+	return e
+}
+
+// Version returns the tensor-unit version for an mvin of the whole tensor.
+// It panics while the tensor is expanded: the software must address tiles
+// individually during tiled computation.
+func (t *Table) Version(id ID) uint64 {
+	e := t.get(id)
+	if e.tiles != nil {
+		panic(fmt.Sprintf("tensor: id %d is tile-expanded; use TileVersion", id))
+	}
+	t.reads++
+	return e.version
+}
+
+// Bump increments the tensor-unit version for an mvout of the whole tensor
+// and returns the new value.
+func (t *Table) Bump(id ID) uint64 {
+	e := t.get(id)
+	if e.tiles != nil {
+		panic(fmt.Sprintf("tensor: id %d is tile-expanded; use BumpTile", id))
+	}
+	e.version++
+	t.writes++
+	return e.version
+}
+
+// Expand splits the tensor's version into tiles per-tile version numbers,
+// all starting at the current tensor-unit version (Fig. 9 step 1).
+func (t *Table) Expand(id ID, tiles int) {
+	if tiles <= 0 {
+		panic(fmt.Sprintf("tensor: expand to %d tiles", tiles))
+	}
+	e := t.get(id)
+	if e.tiles != nil {
+		panic(fmt.Sprintf("tensor: id %d already expanded", id))
+	}
+	e.tiles = make([]uint64, tiles)
+	for i := range e.tiles {
+		e.tiles[i] = e.version
+	}
+	t.writes++
+	t.notePeak()
+}
+
+// Expanded reports whether the tensor is in tile-expanded state.
+func (t *Table) Expanded(id ID) bool { return t.get(id).tiles != nil }
+
+// Tiles returns the tile count of an expanded tensor.
+func (t *Table) Tiles(id ID) int {
+	e := t.get(id)
+	if e.tiles == nil {
+		return 0
+	}
+	return len(e.tiles)
+}
+
+// TileVersion returns the expected version for an mvin of one tile.
+func (t *Table) TileVersion(id ID, tile int) uint64 {
+	e := t.get(id)
+	if e.tiles == nil {
+		// Reading a tile of a merged tensor uses the tensor version: the
+		// whole tensor was last written as a unit.
+		t.reads++
+		return e.version
+	}
+	if tile < 0 || tile >= len(e.tiles) {
+		panic(fmt.Sprintf("tensor: tile %d out of range [0,%d)", tile, len(e.tiles)))
+	}
+	t.reads++
+	return e.tiles[tile]
+}
+
+// BumpTile increments one tile's version for an mvout and returns it. The
+// tensor must be expanded first.
+func (t *Table) BumpTile(id ID, tile int) uint64 {
+	e := t.get(id)
+	if e.tiles == nil {
+		panic(fmt.Sprintf("tensor: id %d not expanded; use Bump for tensor-unit writes", id))
+	}
+	if tile < 0 || tile >= len(e.tiles) {
+		panic(fmt.Sprintf("tensor: tile %d out of range [0,%d)", tile, len(e.tiles)))
+	}
+	e.tiles[tile]++
+	t.writes++
+	return e.tiles[tile]
+}
+
+// Merge collapses an expanded tensor back to one version number. All tile
+// versions must be equal (they are after a complete layer: every tile was
+// updated the same number of times — Fig. 9 step 9); unequal versions mean
+// the software tried to merge mid-layer, which is a compiler bug.
+func (t *Table) Merge(id ID) error {
+	e := t.get(id)
+	if e.tiles == nil {
+		return fmt.Errorf("tensor: id %d not expanded", id)
+	}
+	v := e.tiles[0]
+	for i, tv := range e.tiles {
+		if tv != v {
+			return fmt.Errorf("tensor: merge of id %d with unequal tile versions (tile 0 = %d, tile %d = %d)", id, v, i, tv)
+		}
+	}
+	e.version = v
+	e.tiles = nil
+	t.writes++
+	return nil
+}
+
+// Drop removes a tensor whose lifetime ended (intermediate feature map
+// freed by the runtime), shrinking table storage.
+func (t *Table) Drop(id ID) {
+	if _, ok := t.entries[id]; !ok {
+		panic(fmt.Sprintf("tensor: drop of unknown id %d", id))
+	}
+	delete(t.entries, id)
+	t.writes++
+}
+
+// StorageBytes returns the current fully-protected-region footprint of the
+// table: 12 bytes per tensor row plus 8 bytes per expanded tile version.
+func (t *Table) StorageBytes() int {
+	total := 0
+	for _, e := range t.entries {
+		total += entryHeaderBytes
+		total += len(e.tiles) * tileEntryBytes
+	}
+	return total
+}
+
+// PeakStorageBytes returns the high-water mark of StorageBytes, the number
+// Sec. IV-D reports (1.3KB average, 7.5KB max for tf).
+func (t *Table) PeakStorageBytes() int { return t.peakBytes }
+
+func (t *Table) notePeak() {
+	if s := t.StorageBytes(); s > t.peakBytes {
+		t.peakBytes = s
+	}
+}
+
+// Accesses returns (reads, writes) performed on the table; each is an
+// access to the fully protected region in the timing model.
+func (t *Table) Accesses() (reads, writes uint64) { return t.reads, t.writes }

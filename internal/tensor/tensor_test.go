@@ -1,0 +1,273 @@
+package tensor
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTensorBlocks(t *testing.T) {
+	cases := []struct {
+		bytes  uint64
+		blocks uint64
+	}{
+		{0, 0}, {1, 1}, {64, 1}, {65, 2}, {4096, 64},
+	}
+	for _, c := range cases {
+		ten := Tensor{Bytes: c.bytes}
+		if got := ten.Blocks(); got != c.blocks {
+			t.Errorf("Blocks(%d) = %d, want %d", c.bytes, got, c.blocks)
+		}
+	}
+	ten := Tensor{Addr: 0x1000, Bytes: 256}
+	if ten.End() != 0x1100 {
+		t.Errorf("End = %#x", ten.End())
+	}
+}
+
+func TestRegisterAndVersion(t *testing.T) {
+	tb := NewTable()
+	tb.Register(1)
+	if !tb.Registered(1) || tb.Registered(2) {
+		t.Fatal("registration state wrong")
+	}
+	if v := tb.Version(1); v != 0 {
+		t.Fatalf("fresh version = %d", v)
+	}
+	if v := tb.Bump(1); v != 1 {
+		t.Fatalf("bumped version = %d", v)
+	}
+	if v := tb.Version(1); v != 1 {
+		t.Fatalf("version after bump = %d", v)
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	tb := NewTable()
+	tb.Register(1)
+	assertPanics(t, "duplicate", func() { tb.Register(1) })
+}
+
+func TestUnknownIDPanics(t *testing.T) {
+	tb := NewTable()
+	assertPanics(t, "unknown", func() { tb.Version(9) })
+	assertPanics(t, "unknown", func() { tb.Bump(9) })
+	assertPanics(t, "unknown", func() { tb.Drop(9) })
+}
+
+func TestExpandBumpMerge(t *testing.T) {
+	tb := NewTable()
+	tb.Register(1)
+	tb.Bump(1) // version 1
+	tb.Expand(1, 4)
+	if !tb.Expanded(1) || tb.Tiles(1) != 4 {
+		t.Fatal("expand state wrong")
+	}
+	// All tiles inherit the tensor version.
+	for i := 0; i < 4; i++ {
+		if v := tb.TileVersion(1, i); v != 1 {
+			t.Fatalf("tile %d version = %d, want 1", i, v)
+		}
+	}
+	// Mid-layer merge must fail while versions are unequal.
+	tb.BumpTile(1, 0)
+	if err := tb.Merge(1); err == nil {
+		t.Fatal("merge with unequal tile versions accepted")
+	}
+	for i := 1; i < 4; i++ {
+		tb.BumpTile(1, i)
+	}
+	if err := tb.Merge(1); err != nil {
+		t.Fatalf("merge after uniform updates: %v", err)
+	}
+	if tb.Expanded(1) {
+		t.Fatal("still expanded after merge")
+	}
+	if v := tb.Version(1); v != 2 {
+		t.Fatalf("merged version = %d, want 2", v)
+	}
+}
+
+func TestMatrixMultiplyScenario(t *testing.T) {
+	// The Fig. 9 walk-through: 2x2 tiled matmul. Inputs A, B are read-only
+	// (stay merged); output C is expanded into 4 tiles, each written once,
+	// then merged to a single version.
+	tb := NewTable()
+	for id := ID(1); id <= 3; id++ {
+		tb.Register(id)
+	}
+	tb.Expand(3, 4)
+	for tile := 0; tile < 4; tile++ {
+		// Each output tile: read A tiles and B tiles with tensor version.
+		_ = tb.TileVersion(1, tile%2)
+		_ = tb.TileVersion(2, tile/2)
+		if v := tb.BumpTile(3, tile); v != 1 {
+			t.Fatalf("output tile %d version = %d, want 1", tile, v)
+		}
+	}
+	if err := tb.Merge(3); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Version(3) != 1 {
+		t.Fatal("output tensor version should be 1 after one full update")
+	}
+}
+
+func TestTileVersionOfMergedTensor(t *testing.T) {
+	tb := NewTable()
+	tb.Register(1)
+	tb.Bump(1)
+	// Reading any tile of a merged (whole-written) tensor uses the tensor
+	// version — e.g. input tensors in Fig. 9.
+	if v := tb.TileVersion(1, 7); v != 1 {
+		t.Fatalf("tile read of merged tensor = %d, want 1", v)
+	}
+}
+
+func TestBumpTileRequiresExpansion(t *testing.T) {
+	tb := NewTable()
+	tb.Register(1)
+	assertPanics(t, "not expanded", func() { tb.BumpTile(1, 0) })
+}
+
+func TestExpandedTensorUnitAccessPanics(t *testing.T) {
+	tb := NewTable()
+	tb.Register(1)
+	tb.Expand(1, 2)
+	assertPanics(t, "expanded", func() { tb.Version(1) })
+	assertPanics(t, "expanded", func() { tb.Bump(1) })
+	assertPanics(t, "already expanded", func() { tb.Expand(1, 2) })
+}
+
+func TestTileRangePanics(t *testing.T) {
+	tb := NewTable()
+	tb.Register(1)
+	tb.Expand(1, 2)
+	assertPanics(t, "out of range", func() { tb.TileVersion(1, 2) })
+	assertPanics(t, "out of range", func() { tb.BumpTile(1, -1) })
+}
+
+func TestMergeUnexpanded(t *testing.T) {
+	tb := NewTable()
+	tb.Register(1)
+	if err := tb.Merge(1); err == nil {
+		t.Fatal("merge of unexpanded tensor accepted")
+	}
+}
+
+func TestStorageAccounting(t *testing.T) {
+	tb := NewTable()
+	tb.Register(1)
+	if got := tb.StorageBytes(); got != 12 {
+		t.Fatalf("one merged entry = %d bytes, want 12", got)
+	}
+	tb.Expand(1, 10)
+	if got := tb.StorageBytes(); got != 12+80 {
+		t.Fatalf("expanded entry = %d bytes, want 92", got)
+	}
+	if tb.PeakStorageBytes() != 92 {
+		t.Fatalf("peak = %d, want 92", tb.PeakStorageBytes())
+	}
+	for i := 0; i < 10; i++ {
+		tb.BumpTile(1, i)
+	}
+	if err := tb.Merge(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.StorageBytes(); got != 12 {
+		t.Fatalf("merged back = %d bytes, want 12", got)
+	}
+	// Peak survives the merge.
+	if tb.PeakStorageBytes() != 92 {
+		t.Fatalf("peak after merge = %d, want 92", tb.PeakStorageBytes())
+	}
+	tb.Drop(1)
+	if tb.StorageBytes() != 0 {
+		t.Fatal("storage after drop should be 0")
+	}
+}
+
+func TestAccessCounting(t *testing.T) {
+	tb := NewTable()
+	tb.Register(1)       // 1 write
+	tb.Version(1)        // 1 read
+	tb.Bump(1)           // 1 write
+	tb.Expand(1, 2)      // 1 write
+	tb.TileVersion(1, 0) // 1 read
+	tb.BumpTile(1, 0)    // 1 write
+	tb.BumpTile(1, 1)    // 1 write
+	_ = tb.Merge(1)      // 1 write
+	r, w := tb.Accesses()
+	if r != 2 || w != 6 {
+		t.Fatalf("accesses = (%d,%d), want (2,6)", r, w)
+	}
+}
+
+// Property: after expanding and bumping every tile k times, merge succeeds
+// and yields initial version + k.
+func TestUniformUpdateMergeProperty(t *testing.T) {
+	f := func(tilesRaw, bumpsRaw uint8, initRaw uint8) bool {
+		tiles := int(tilesRaw%16) + 1
+		bumps := int(bumpsRaw % 8)
+		tb := NewTable()
+		tb.Register(1)
+		for i := 0; i < int(initRaw%4); i++ {
+			tb.Bump(1)
+		}
+		init := tb.Version(1)
+		tb.Expand(1, tiles)
+		for b := 0; b < bumps; b++ {
+			for tl := 0; tl < tiles; tl++ {
+				tb.BumpTile(1, tl)
+			}
+		}
+		if err := tb.Merge(1); err != nil {
+			return false
+		}
+		return tb.Version(1) == init+uint64(bumps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merge fails if and only if some tile differs.
+func TestMergeIffUniformProperty(t *testing.T) {
+	f := func(bumpSet []uint8) bool {
+		const tiles = 8
+		tb := NewTable()
+		tb.Register(1)
+		tb.Expand(1, tiles)
+		counts := [tiles]int{}
+		for _, b := range bumpSet {
+			tl := int(b) % tiles
+			tb.BumpTile(1, tl)
+			counts[tl]++
+		}
+		uniform := true
+		for _, c := range counts {
+			if c != counts[0] {
+				uniform = false
+			}
+		}
+		err := tb.Merge(1)
+		return (err == nil) == uniform
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func assertPanics(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", substr)
+		}
+		if msg, ok := r.(string); ok && substr != "" && !strings.Contains(msg, substr) {
+			t.Fatalf("panic %q does not contain %q", msg, substr)
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,133 @@
+package tracecheck
+
+import (
+	"strings"
+	"testing"
+
+	"tnpu/internal/compiler"
+	"tnpu/internal/isa"
+	"tnpu/internal/model"
+	"tnpu/internal/spm"
+	"tnpu/internal/systolic"
+	"tnpu/internal/tensor"
+)
+
+func compileShort(t *testing.T, short string) *compiler.Program {
+	t.Helper()
+	m, err := model.ByShort(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := compiler.Compile(m, compiler.Config{
+		Array: systolic.Array{Rows: 32, Cols: 32},
+		SPM:   spm.SPM{CapacityBytes: 480 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestAllCompiledModelsPass is the compiler's version-discipline gate: the
+// checker must find zero violations on every workload.
+func TestAllCompiledModelsPass(t *testing.T) {
+	for _, short := range model.ShortNames() {
+		p := compileShort(t, short)
+		r := Check(p)
+		if !r.Ok() {
+			t.Errorf("%s: %v", short, r.Errors)
+		}
+		if r.MvIns == 0 || r.MvOuts == 0 || r.AlignedReads == 0 {
+			t.Errorf("%s: degenerate report %+v", short, r)
+		}
+	}
+}
+
+// synthetic builds a minimal program for violation injection.
+func synthetic() *compiler.Program {
+	p := &compiler.Program{Table: tensor.NewTable()}
+	p.Tensors = []tensor.Tensor{
+		{ID: 0, Name: "input", Addr: 0, Bytes: 128},
+		{ID: 1, Name: "l.out", Addr: 4096, Bytes: 128},
+	}
+	p.Trace.Append(isa.Instr{Op: isa.OpMvIn, Tensor: 0, Version: 1,
+		Segments: []isa.Segment{{Addr: 0, Bytes: 128}}})
+	p.Trace.Append(isa.Instr{Op: isa.OpCompute, Cycles: 10, Deps: []int32{0}})
+	p.Trace.Append(isa.Instr{Op: isa.OpMvOut, Tensor: 1, Version: 1,
+		Segments: []isa.Segment{{Addr: 4096, Bytes: 128}}, Deps: []int32{1}})
+	p.Trace.Append(isa.Instr{Op: isa.OpMvIn, Tensor: 1, Version: 1,
+		Segments: []isa.Segment{{Addr: 4096, Bytes: 128}}, Deps: []int32{2}})
+	p.MemoryTop = 8192
+	return p
+}
+
+func TestSyntheticClean(t *testing.T) {
+	r := Check(synthetic())
+	if !r.Ok() {
+		t.Fatalf("clean trace flagged: %v", r.Errors)
+	}
+	if r.AlignedReads != 4 { // 2 input blocks + 2 activation blocks
+		t.Fatalf("aligned reads = %d, want 4", r.AlignedReads)
+	}
+}
+
+func TestDetectsNeverWrittenRead(t *testing.T) {
+	p := synthetic()
+	p.Trace.Instrs[3].Segments[0].Addr = 1 << 20 // read of unwritten space
+	r := Check(p)
+	if r.Ok() || !strings.Contains(r.Errors[0], "never-written") {
+		t.Fatalf("missing violation: %+v", r)
+	}
+}
+
+func TestDetectsStaleReadVersion(t *testing.T) {
+	p := synthetic()
+	p.Trace.Instrs[3].Version = 9 // reader disagrees with the writer
+	r := Check(p)
+	if r.Ok() {
+		t.Fatalf("stale-version read not flagged: %+v", r)
+	}
+}
+
+func TestDetectsNonMonotoneVersions(t *testing.T) {
+	p := synthetic()
+	// A second mvout of the same tile at the SAME version: replayable.
+	p.Trace.Append(isa.Instr{Op: isa.OpMvOut, Tensor: 1, Version: 1,
+		Segments: []isa.Segment{{Addr: 4096, Bytes: 128}}})
+	r := Check(p)
+	if r.Ok() || !strings.Contains(strings.Join(r.Errors, " "), "replayable") {
+		t.Fatalf("duplicate version not flagged: %+v", r)
+	}
+}
+
+func TestDetectsBadDeps(t *testing.T) {
+	p := synthetic()
+	p.Trace.Instrs[1].Deps = []int32{5}
+	r := Check(p)
+	if r.Ok() {
+		t.Fatal("forward dep not flagged")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Check(synthetic())
+	s := r.String()
+	if !strings.Contains(s, "OK") || !strings.Contains(s, "mvin") {
+		t.Errorf("report string %q", s)
+	}
+	var bad Report
+	bad.errf("x")
+	if !strings.Contains(bad.String(), "violations") {
+		t.Error("violation count missing from string")
+	}
+}
+
+func TestErrorCap(t *testing.T) {
+	var r Report
+	for i := 0; i < 100; i++ {
+		r.errf("violation %d", i)
+	}
+	if len(r.Errors) != maxErrors {
+		t.Fatalf("error cap broken: %d", len(r.Errors))
+	}
+}

@@ -1,0 +1,132 @@
+package tnpu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tnpu/internal/secmem"
+)
+
+func TestModelsList(t *testing.T) {
+	ms := Models()
+	if len(ms) != 14 {
+		t.Fatalf("Models() returned %d entries, want 14", len(ms))
+	}
+	if ms[0] != "goo" || ms[13] != "ncf" {
+		t.Fatalf("paper order broken: %v", ms)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	info, err := Describe("sent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.HasEmbedding || info.FootprintMB < 40 {
+		t.Errorf("sent metadata implausible: %+v", info)
+	}
+	if !strings.Contains(info.Name, "Sentimental") {
+		t.Errorf("name = %q", info.Name)
+	}
+	if _, err := Describe("bogus"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestSimulateBasics(t *testing.T) {
+	r, err := Simulate("df", Small, TreeLess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles == 0 || r.Milliseconds <= 0 || r.TrafficBytes == 0 {
+		t.Fatalf("empty report: %+v", r)
+	}
+	if r.MetadataBytes == 0 || r.VersionTablePeakBytes == 0 {
+		t.Errorf("tree-less run missing metadata accounting: %+v", r)
+	}
+	if r.NPUs != 1 || r.Scheme != TreeLess || r.Class != Small {
+		t.Errorf("report identity wrong: %+v", r)
+	}
+}
+
+func TestSimulateUnknownModel(t *testing.T) {
+	if _, err := Simulate("bogus", Small, Unsecure); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestOverheadOrdering(t *testing.T) {
+	base, err := Overhead("df", Small, Baseline, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tnpu, err := Overhead("df", Small, TreeLess, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(1 < tnpu && tnpu < base) {
+		t.Errorf("overhead ordering violated: tnpu=%.3f baseline=%.3f", tnpu, base)
+	}
+}
+
+func TestSimulateMulti(t *testing.T) {
+	r, err := SimulateMulti("agz", Small, Baseline, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NPUs != 3 {
+		t.Errorf("NPUs = %d", r.NPUs)
+	}
+	single, _ := Simulate("agz", Small, Baseline)
+	if r.Cycles <= single.Cycles {
+		t.Error("3 contending NPUs should take longer than 1")
+	}
+}
+
+func TestSimulateEndToEnd(t *testing.T) {
+	r, err := SimulateEndToEnd("df", Large, TreeLess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.InitCycles == 0 || r.RunCycles == 0 || r.OutputCycles == 0 {
+		t.Fatalf("missing phase: %+v", r)
+	}
+	if r.Cycles != r.InitCycles+r.RunCycles+r.OutputCycles {
+		t.Error("phase sum mismatch")
+	}
+	if r.AmortizedCycles >= r.Cycles {
+		t.Error("amortized latency should drop the init phase")
+	}
+}
+
+func TestSecureContextFacade(t *testing.T) {
+	ctx, err := NewSecureContext(
+		[]byte("0123456789abcdef0123456789abcdef"),
+		[]byte("fedcba9876543210"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, err := ctx.Alloc("x", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.WriteTensor(ten.ID, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	ctx.Memory().Corrupt(ten.Addr, 0)
+	if _, err := ctx.ReadTensor(ten.ID); !errors.Is(err, secmem.ErrIntegrity) {
+		t.Fatalf("tamper undetected through facade: %v", err)
+	}
+}
+
+func TestPaperRunnerSubset(t *testing.T) {
+	r := NewPaperRunner("df")
+	f, err := r.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 2 || len(f.Series[0].Values) != 1 {
+		t.Fatalf("unexpected figure shape: %+v", f)
+	}
+}
