@@ -1,13 +1,16 @@
 // Command tnpu-bench regenerates the paper's full evaluation: every table
-// and figure of Sec. V, printed as aligned rows. Expect a couple of
-// minutes for the complete sweep (14 models x 2 NPU classes x 3 schemes x
-// 1-3 NPUs).
+// and figure of Sec. V, printed as aligned rows. The sweep covers
+// 14 models x 2 NPU classes x 3 schemes x 1-3 NPUs; independent cells are
+// fanned out across a worker pool (-parallel), with output byte-identical
+// to a sequential run.
 //
 // Usage:
 //
 //	tnpu-bench                # everything
 //	tnpu-bench -models df,res # restrict the workload set
 //	tnpu-bench -only fig14    # one artifact
+//	tnpu-bench -parallel 8    # worker count (0 = GOMAXPROCS)
+//	tnpu-bench -v             # per-cell progress + run log on stderr
 package main
 
 import (
@@ -26,6 +29,8 @@ func main() {
 	onlyFlag := flag.String("only", "", "single artifact: table3|fig4|fig5|fig14|fig15|fig16|fig17|storage|hwcost|sweeps")
 	jsonFlag := flag.Bool("json", false, "emit the whole evaluation as JSON (for plotting scripts)")
 	mdFlag := flag.String("md", "", "also write a Markdown report to this file")
+	parallelFlag := flag.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = sequential)")
+	verboseFlag := flag.Bool("v", false, "log per-cell progress to stderr and print a run summary at exit")
 	flag.Parse()
 
 	var models []string
@@ -33,21 +38,36 @@ func main() {
 		models = strings.Split(*modelsFlag, ",")
 	}
 	r := tnpu.NewPaperRunner(models...)
-
-	if *jsonFlag {
-		if err := emitJSON(r); err != nil {
-			fmt.Fprintln(os.Stderr, "tnpu-bench:", err)
-			os.Exit(1)
-		}
-		return
+	r.Workers = *parallelFlag
+	if *verboseFlag {
+		r.Progress = os.Stderr
 	}
-	if *mdFlag != "" {
-		if err := emitMarkdown(r, *mdFlag); err != nil {
-			fmt.Fprintln(os.Stderr, "tnpu-bench:", err)
-			os.Exit(1)
+
+	code := run(r, *onlyFlag, *jsonFlag, *mdFlag)
+	if *verboseFlag {
+		fmt.Fprint(os.Stderr, r.Log().Summary())
+	}
+	os.Exit(code)
+}
+
+// run executes the selected artifacts and returns the process exit code.
+func run(r *exp.Runner, only string, asJSON bool, mdPath string) int {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "tnpu-bench:", err)
+		return 1
+	}
+	if asJSON {
+		if err := emitJSON(r); err != nil {
+			return fail(err)
 		}
-		fmt.Println("wrote", *mdFlag)
-		return
+		return 0
+	}
+	if mdPath != "" {
+		if err := emitMarkdown(r, mdPath); err != nil {
+			return fail(err)
+		}
+		fmt.Println("wrote", mdPath)
+		return 0
 	}
 
 	type artifact struct {
@@ -85,7 +105,7 @@ func main() {
 			return nil
 		}},
 		{"sweeps", func() error {
-			for _, gen := range []func(string) (exp.Sweep, error){exp.BandwidthSweep, exp.SPMSweep, exp.LatencySweep} {
+			for _, gen := range []func(string) (exp.Sweep, error){r.BandwidthSweep, r.SPMSweep, r.LatencySweep} {
 				sw, err := gen("sent")
 				if err != nil {
 					return err
@@ -108,35 +128,40 @@ func main() {
 
 	ran := false
 	for _, a := range artifacts {
-		if *onlyFlag != "" && a.key != *onlyFlag {
+		if only != "" && a.key != only {
 			continue
 		}
 		ran = true
 		if err := a.run(); err != nil {
-			fmt.Fprintln(os.Stderr, "tnpu-bench:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "tnpu-bench: unknown artifact %q\n", *onlyFlag)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "tnpu-bench: unknown artifact %q\n", only)
+		return 2
 	}
 
-	if *onlyFlag == "" {
+	if only == "" {
 		// Headline summary (the numbers the paper's abstract quotes).
 		for _, class := range exp.Classes() {
 			i1, err := r.Improvement(class, 1)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "tnpu-bench:", err)
-				os.Exit(1)
+				return fail(err)
 			}
-			i3, _ := r.Improvement(class, 3)
+			i3, err := r.Improvement(class, 3)
+			if err != nil {
+				return fail(err)
+			}
 			fmt.Printf("Headline (%s NPU): TNPU improves the tree-based baseline by %.1f%% (1 NPU), %.1f%% (3 NPUs)\n",
 				class, 100*i1, 100*i3)
 		}
 		fmt.Println("Paper reference: 10.0%/13.3% (small), 7.5%/8.7% (large)")
 	}
+	return 0
 }
+
+// figureKeys names the AllFigures results in order.
+var figureKeys = []string{"fig4", "fig5", "fig14", "fig15", "fig16", "fig17"}
 
 // jsonSeries is one plottable line.
 type jsonSeries struct {
@@ -161,15 +186,12 @@ type jsonDoc struct {
 
 func emitJSON(r *exp.Runner) error {
 	doc := jsonDoc{Figures: map[string][]jsonSeries{}, Improvements: map[string]float64{}}
-	figs := map[string]func() (exp.Figure, error){
-		"fig4": r.Figure4, "fig5": r.Figure5, "fig14": r.Figure14,
-		"fig15": r.Figure15, "fig16": r.Figure16, "fig17": r.Figure17,
+	figs, err := r.AllFigures()
+	if err != nil {
+		return err
 	}
-	for key, gen := range figs {
-		f, err := gen()
-		if err != nil {
-			return err
-		}
+	for i, f := range figs {
+		key := figureKeys[i]
 		for _, s := range f.Series {
 			doc.Figures[key] = append(doc.Figures[key], jsonSeries{
 				Class: s.Class.String(), Label: s.Label,
@@ -205,19 +227,13 @@ func emitMarkdown(r *exp.Runner, path string) error {
 	b.WriteString("# TNPU reproduction report\n\n")
 	b.WriteString("Generated by `tnpu-bench -md`. All values normalized to the unsecure run.\n\n")
 	b.WriteString("## Table III\n\n```\n" + r.Table3() + "```\n\n")
-	figs := []struct {
-		name string
-		gen  func() (exp.Figure, error)
-	}{
-		{"Figure 4", r.Figure4}, {"Figure 5", r.Figure5}, {"Figure 14", r.Figure14},
-		{"Figure 15", r.Figure15}, {"Figure 16", r.Figure16}, {"Figure 17", r.Figure17},
+	figs, err := r.AllFigures()
+	if err != nil {
+		return err
 	}
-	for _, f := range figs {
-		fig, err := f.gen()
-		if err != nil {
-			return err
-		}
-		b.WriteString("## " + f.name + "\n\n```\n" + fig.String() + "```\n\n")
+	names := []string{"Figure 4", "Figure 5", "Figure 14", "Figure 15", "Figure 16", "Figure 17"}
+	for i, fig := range figs {
+		b.WriteString("## " + names[i] + "\n\n```\n" + fig.String() + "```\n\n")
 	}
 	per, avg, max, err := r.VersionStorage(exp.Small)
 	if err != nil {
@@ -234,7 +250,10 @@ func emitMarkdown(r *exp.Runner, path string) error {
 		if err != nil {
 			return err
 		}
-		i3, _ := r.Improvement(class, 3)
+		i3, err := r.Improvement(class, 3)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(&b, "- %s NPU: TNPU improves the baseline by %.1f%% (1 NPU), %.1f%% (3 NPUs)\n", class, 100*i1, 100*i3)
 	}
 	b.WriteString("- paper reference: 10.0%/13.3% (small), 7.5%/8.7% (large)\n")

@@ -105,6 +105,13 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 	}
 
 	c.stats.Misses++
+	return c.allocate(tag, write)
+}
+
+// allocate installs tag's line at the MRU position, evicting the LRU way
+// when the set is full and reporting a dirty victim for writeback.
+func (c *Cache) allocate(tag uint64, write bool) Result {
+	set := c.lines[tag%uint64(c.sets)]
 	res := Result{}
 	if len(set) == c.ways {
 		victim := set[len(set)-1]
@@ -123,6 +130,23 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 	return res
 }
 
+// Prefetch brings addr's line into the cache speculatively. Unlike Access
+// it leaves the demand counters (Lookups/Misses) untouched, recording the
+// fill under Prefetches instead, so a prefetcher ablation cannot move the
+// demand miss rate. A resident line is left where it is (no LRU
+// promotion, no counter change); eviction of a dirty victim is reported
+// for writeback exactly as in Access.
+func (c *Cache) Prefetch(addr uint64) Result {
+	tag := addr >> c.lineShift
+	for _, l := range c.lines[tag%uint64(c.sets)] {
+		if l.valid && l.tag == tag {
+			return Result{Hit: true}
+		}
+	}
+	c.stats.Prefetches++
+	return c.allocate(tag, false)
+}
+
 // Probe reports whether addr's line is resident without touching LRU state
 // or statistics.
 func (c *Cache) Probe(addr uint64) bool {
@@ -135,8 +159,9 @@ func (c *Cache) Probe(addr uint64) bool {
 	return false
 }
 
-// Invalidate drops addr's line if present, returning its byte address and
-// true when the dropped line was dirty (caller must write it back).
+// Invalidate drops addr's line if present, reporting whether the dropped
+// line was dirty — in which case the caller must write its contents back
+// (the line's address is the caller's addr rounded down to LineBytes).
 func (c *Cache) Invalidate(addr uint64) (dirty bool) {
 	tag := addr >> c.lineShift
 	set := c.lines[tag%uint64(c.sets)]

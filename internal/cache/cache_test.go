@@ -224,3 +224,58 @@ func TestWorkingSetLargerThanCacheThrashes(t *testing.T) {
 		t.Fatalf("cyclic stream over 2x capacity should always miss under LRU: %d misses of %d", s.Misses, s.Lookups)
 	}
 }
+
+func TestInvalidateReportsDirty(t *testing.T) {
+	c := New("test", 4096, 64, 8)
+	c.Access(0, true)   // dirty line
+	c.Access(64, false) // clean line
+	if !c.Invalidate(0) {
+		t.Error("invalidating a dirty line must report dirty")
+	}
+	if c.Probe(0) {
+		t.Error("invalidated line still resident")
+	}
+	if c.Invalidate(64) {
+		t.Error("invalidating a clean line must not report dirty")
+	}
+	if c.Invalidate(128) {
+		t.Error("invalidating an absent line must not report dirty")
+	}
+}
+
+func TestPrefetchLeavesDemandStatsAlone(t *testing.T) {
+	c := New("test", 4096, 64, 8)
+	c.Access(0, false)
+	before := *c.Stats()
+	if r := c.Prefetch(64); r.Hit {
+		t.Error("prefetch of an absent line reported resident")
+	}
+	if r := c.Prefetch(64); !r.Hit {
+		t.Error("prefetch of a resident line reported absent")
+	}
+	s := c.Stats()
+	if s.Lookups != before.Lookups || s.Misses != before.Misses {
+		t.Errorf("prefetch moved demand counters: %+v -> %+v", before, *s)
+	}
+	if s.Prefetches != 1 {
+		t.Errorf("prefetch fills = %d, want 1 (resident re-prefetch must not count)", s.Prefetches)
+	}
+	if r := c.Access(64, false); !r.Hit {
+		t.Error("prefetched line missed on demand access")
+	}
+}
+
+func TestPrefetchWritesBackDirtyVictim(t *testing.T) {
+	// 2-way, single set.
+	c := New("test", 128, 64, 2)
+	c.Access(0*64, true) // dirty
+	c.Access(1*64, false)
+	c.Access(1*64, false) // line 0 is now LRU
+	r := c.Prefetch(2 * 64)
+	if !r.Writeback || r.WritebackAddr != 0 {
+		t.Errorf("prefetch eviction of dirty LRU not reported: %+v", r)
+	}
+	if c.Stats().Writebacks != 1 || c.Stats().Evictions != 1 {
+		t.Errorf("eviction accounting off: %+v", *c.Stats())
+	}
+}

@@ -7,6 +7,9 @@ package exp
 
 import (
 	"fmt"
+	"io"
+	"sync"
+	"time"
 
 	"tnpu/internal/compiler"
 	"tnpu/internal/e2e"
@@ -45,15 +48,34 @@ func (c Class) Config() npu.Config {
 func Classes() []Class { return []Class{Small, Large} }
 
 // Runner caches compiled programs and simulation results so the figure
-// generators can share work. Not safe for concurrent use.
+// generators can share work. It is safe for concurrent use: every
+// (model, class, scheme, count) cell is computed exactly once no matter
+// how many goroutines ask for it (singleflight memoization), and the
+// figure/sweep generators fan their independent cells out across a
+// bounded worker pool while keeping output deterministic — a parallel
+// run is byte-identical to a sequential one.
 type Runner struct {
 	// Models restricts the workload set (defaults to all 14; tests use
 	// subsets).
 	Models []string
 
-	progs map[progKey]*compiler.Program
-	runs  map[runKey]multinpu.Result
-	e2es  map[e2eKey]e2e.Result
+	// Workers bounds how many simulation cells run concurrently.
+	// 0 means runtime.GOMAXPROCS(0); 1 forces sequential evaluation.
+	// Must be set before the first figure/sweep call.
+	Workers int
+
+	// Progress, when non-nil, receives one line per completed cell
+	// (typically os.Stderr). Must be set before the first call.
+	Progress io.Writer
+
+	mu         sync.Mutex
+	progs      map[progKey]*cell[*compiler.Program]
+	runs       map[runKey]*cell[multinpu.Result]
+	e2es       map[e2eKey]*cell[e2e.Result]
+	sweepProgs map[sweepProgKey]*cell[*compiler.Program]
+	sweepRuns  map[sweepRunKey]*cell[uint64]
+
+	log RunLog
 }
 
 type progKey struct {
@@ -74,71 +96,93 @@ type e2eKey struct {
 	scheme memprot.Scheme
 }
 
+// cell is one singleflight slot: the first goroutine to claim a key
+// computes it while later arrivals block on done and share the result.
+type cell[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// compute memoizes fn under k in m: exactly one caller runs fn, everyone
+// gets its result. Fresh computations are timed into the runner's RunLog.
+func compute[K comparable, V any](r *Runner, m map[K]*cell[V], k K, kind, label string, fn func() (V, error)) (V, error) {
+	r.mu.Lock()
+	if c, ok := m[k]; ok {
+		r.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &cell[V]{done: make(chan struct{})}
+	m[k] = c
+	r.mu.Unlock()
+
+	start := time.Now()
+	c.val, c.err = fn()
+	r.log.note(kind, label, time.Since(start), r.Progress)
+	close(c.done)
+	return c.val, c.err
+}
+
 // NewRunner creates a runner over the given workloads (nil = all 14).
 func NewRunner(models ...string) *Runner {
 	if len(models) == 0 {
 		models = model.ShortNames()
 	}
 	return &Runner{
-		Models: models,
-		progs:  make(map[progKey]*compiler.Program),
-		runs:   make(map[runKey]multinpu.Result),
-		e2es:   make(map[e2eKey]e2e.Result),
+		Models:     models,
+		progs:      make(map[progKey]*cell[*compiler.Program]),
+		runs:       make(map[runKey]*cell[multinpu.Result]),
+		e2es:       make(map[e2eKey]*cell[e2e.Result]),
+		sweepProgs: make(map[sweepProgKey]*cell[*compiler.Program]),
+		sweepRuns:  make(map[sweepRunKey]*cell[uint64]),
 	}
 }
+
+// Log exposes the runner's instrumentation record: per-cell wall times,
+// completion counts, and compile-vs-simulate totals.
+func (r *Runner) Log() *RunLog { return &r.log }
 
 // Program compiles (once) a model for a class.
 func (r *Runner) Program(short string, class Class) (*compiler.Program, error) {
 	k := progKey{short, class}
-	if p, ok := r.progs[k]; ok {
-		return p, nil
-	}
-	m, err := model.ByShort(short)
-	if err != nil {
-		return nil, err
-	}
-	p, err := compiler.Compile(m, class.Config().CompilerConfig())
-	if err != nil {
-		return nil, err
-	}
-	r.progs[k] = p
-	return p, nil
+	return compute(r, r.progs, k, "compile", fmt.Sprintf("%s/%s", short, class), func() (*compiler.Program, error) {
+		m, err := model.ByShort(short)
+		if err != nil {
+			return nil, err
+		}
+		return compiler.Compile(m, class.Config().CompilerConfig())
+	})
 }
 
 // Run simulates (once) a model under a scheme with count NPUs.
 func (r *Runner) Run(short string, class Class, scheme memprot.Scheme, count int) (multinpu.Result, error) {
 	k := runKey{short, class, scheme, count}
-	if res, ok := r.runs[k]; ok {
+	label := fmt.Sprintf("%s/%s/%s x%d", short, class, scheme, count)
+	return compute(r, r.runs, k, "simulate", label, func() (multinpu.Result, error) {
+		p, err := r.Program(short, class)
+		if err != nil {
+			return multinpu.Result{}, err
+		}
+		res, err := multinpu.Run(p, scheme, class.Config(), count)
+		if err != nil {
+			return multinpu.Result{}, fmt.Errorf("exp: %s/%s/%s x%d: %w", short, class, scheme, count, err)
+		}
 		return res, nil
-	}
-	p, err := r.Program(short, class)
-	if err != nil {
-		return multinpu.Result{}, err
-	}
-	res, err := multinpu.Run(p, scheme, class.Config(), count)
-	if err != nil {
-		return multinpu.Result{}, fmt.Errorf("exp: %s/%s/%s x%d: %w", short, class, scheme, count, err)
-	}
-	r.runs[k] = res
-	return res, nil
+	})
 }
 
 // EndToEnd simulates (once) the Sec. V-D flow.
 func (r *Runner) EndToEnd(short string, class Class, scheme memprot.Scheme) (e2e.Result, error) {
 	k := e2eKey{short, class, scheme}
-	if res, ok := r.e2es[k]; ok {
-		return res, nil
-	}
-	p, err := r.Program(short, class)
-	if err != nil {
-		return e2e.Result{}, err
-	}
-	res, err := e2e.Run(p, scheme, class.Config())
-	if err != nil {
-		return e2e.Result{}, err
-	}
-	r.e2es[k] = res
-	return res, nil
+	label := fmt.Sprintf("%s/%s/%s e2e", short, class, scheme)
+	return compute(r, r.e2es, k, "e2e", label, func() (e2e.Result, error) {
+		p, err := r.Program(short, class)
+		if err != nil {
+			return e2e.Result{}, err
+		}
+		return e2e.Run(p, scheme, class.Config())
+	})
 }
 
 // normalized returns scheme cycles / unsecure cycles for one cell.

@@ -51,17 +51,38 @@ func (f Figure) String() string {
 	return b.String()
 }
 
-// seriesOver builds one series by evaluating fn per model.
+// seriesOver builds one series by evaluating fn per model, fanning the
+// models out across the runner's worker pool. Values land at their model's
+// index, so the series is identical to a sequential build.
 func (r *Runner) seriesOver(class Class, label string, fn func(short string) (float64, error)) (Series, error) {
 	s := Series{Class: class, Label: label, Models: r.Models}
-	for _, short := range r.Models {
-		v, err := fn(short)
+	s.Values = make([]float64, len(r.Models))
+	err := r.forEach(len(r.Models), func(i int) error {
+		v, err := fn(r.Models[i])
 		if err != nil {
-			return s, err
+			return err
 		}
-		s.Values = append(s.Values, v)
+		s.Values[i] = v
+		return nil
+	})
+	if err != nil {
+		return s, err
 	}
 	return s, nil
+}
+
+// AllFigures computes every figure of the evaluation, fanning the
+// generators across the worker pool. Results come back in fixed paper
+// order: Figure 4, 5, 14, 15, 16, 17.
+func (r *Runner) AllFigures() ([]Figure, error) {
+	gens := []func() (Figure, error){r.Figure4, r.Figure5, r.Figure14, r.Figure15, r.Figure16, r.Figure17}
+	figs := make([]Figure, len(gens))
+	err := r.forEach(len(gens), func(i int) error {
+		f, err := gens[i]()
+		figs[i] = f
+		return err
+	})
+	return figs, err
 }
 
 // Figure4 reproduces the motivation figure: execution time of the
@@ -202,8 +223,15 @@ func (r *Runner) Table3() string {
 			continue
 		}
 		ours := float64(m.Footprint()) / (1 << 20)
-		paper := model.PaperFootprintsMB[short]
-		tb.AddRow(short, fmt.Sprintf("%.1fMB", ours), fmt.Sprintf("%.1fMB", paper), stats.F(ours/paper))
+		// A workload absent from Table III (or recorded as zero) has no
+		// paper reference; print n/a instead of a 0.0MB cell and a +Inf
+		// ratio.
+		paperCell, ratio := "n/a", "n/a"
+		if paper, ok := model.PaperFootprintsMB[short]; ok && paper > 0 {
+			paperCell = fmt.Sprintf("%.1fMB", paper)
+			ratio = stats.F(ours / paper)
+		}
+		tb.AddRow(short, fmt.Sprintf("%.1fMB", ours), paperCell, ratio)
 	}
 	return "Table III: benchmark memory footprints\n" + tb.String()
 }
@@ -211,18 +239,25 @@ func (r *Runner) Table3() string {
 // VersionStorage reproduces the Sec. IV-D storage analysis: peak
 // version-table bytes per workload, with average and maximum.
 func (r *Runner) VersionStorage(class Class) (perModel map[string]int, avg float64, max int, err error) {
+	peaks := make([]int, len(r.Models))
+	err = r.forEach(len(r.Models), func(i int) error {
+		p, err := r.Program(r.Models[i], class)
+		if err != nil {
+			return err
+		}
+		peaks[i] = p.Table.PeakStorageBytes()
+		return nil
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
 	perModel = make(map[string]int)
 	sum := 0
-	for _, short := range r.Models {
-		p, err := r.Program(short, class)
-		if err != nil {
-			return nil, 0, 0, err
-		}
-		peak := p.Table.PeakStorageBytes()
-		perModel[short] = peak
-		sum += peak
-		if peak > max {
-			max = peak
+	for i, short := range r.Models {
+		perModel[short] = peaks[i]
+		sum += peaks[i]
+		if peaks[i] > max {
+			max = peaks[i]
 		}
 	}
 	return perModel, float64(sum) / float64(len(r.Models)), max, nil
@@ -237,18 +272,22 @@ func (r *Runner) HardwareCost() hwcost.Summary {
 // execution time from baseline to TNPU at the given NPU count, per class
 // ("improves the performance of the baseline by X%").
 func (r *Runner) Improvement(class Class, count int) (float64, error) {
-	var base, tnpu []float64
-	for _, short := range r.Models {
-		b, err := r.normalized(short, class, memprot.Baseline, count)
+	base := make([]float64, len(r.Models))
+	tnpu := make([]float64, len(r.Models))
+	err := r.forEach(len(r.Models), func(i int) error {
+		b, err := r.normalized(r.Models[i], class, memprot.Baseline, count)
 		if err != nil {
-			return 0, err
+			return err
 		}
-		tn, err := r.normalized(short, class, memprot.TreeLess, count)
+		tn, err := r.normalized(r.Models[i], class, memprot.TreeLess, count)
 		if err != nil {
-			return 0, err
+			return err
 		}
-		base = append(base, b)
-		tnpu = append(tnpu, tn)
+		base[i], tnpu[i] = b, tn
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	return 1 - stats.Mean(tnpu)/stats.Mean(base), nil
 }

@@ -37,50 +37,87 @@ func (s Sweep) String() string {
 	return fmt.Sprintf("Sensitivity: %s on %q\n%s", s.Name, s.Model, tb.String())
 }
 
-// runPoint simulates one (config, scheme) pair from scratch.
-func runPoint(short string, cfg npu.Config, scheme memprot.Scheme) (uint64, error) {
-	m, err := model.ByShort(short)
-	if err != nil {
-		return 0, err
-	}
-	prog, err := compiler.Compile(m, cfg.CompilerConfig())
-	if err != nil {
-		return 0, err
-	}
-	bus := dram.NewBus(cfg.Mem)
-	eng, err := memprot.New(scheme, memprot.DefaultConfig(bus))
-	if err != nil {
-		return 0, err
-	}
-	mach := npu.NewMachine(prog, eng)
-	mach.Run()
-	return mach.Cycles(), nil
-}
-
-// sweepOver evaluates both schemes at each configuration.
-func sweepOver(name, short string, points []struct {
+// sweepPoint is one labelled hardware configuration of a sweep.
+type sweepPoint struct {
 	label string
 	cfg   npu.Config
-}) (Sweep, error) {
-	s := Sweep{Name: name, Model: short}
-	for _, p := range points {
-		u, err := runPoint(short, p.cfg, memprot.Unsecure)
+}
+
+// sweepProgKey caches compiled programs per distinct compiler view: the
+// bandwidth and latency sweeps vary only bus parameters, so all their
+// points share one compiled program instead of recompiling per point.
+type sweepProgKey struct {
+	short string
+	cfg   compiler.Config
+}
+
+type sweepRunKey struct {
+	short  string
+	cfg    npu.Config
+	scheme memprot.Scheme
+}
+
+// sweepProgram compiles (once) a model for an arbitrary compiler config —
+// the sweep-side analogue of Program.
+func (r *Runner) sweepProgram(short string, cfg compiler.Config) (*compiler.Program, error) {
+	k := sweepProgKey{short, cfg}
+	label := fmt.Sprintf("%s/sweep spm=%dKB", short, cfg.SPM.CapacityBytes>>10)
+	return compute(r, r.sweepProgs, k, "compile", label, func() (*compiler.Program, error) {
+		m, err := model.ByShort(short)
 		if err != nil {
-			return s, err
+			return nil, err
 		}
-		b, err := runPoint(short, p.cfg, memprot.Baseline)
+		return compiler.Compile(m, cfg)
+	})
+}
+
+// runPoint simulates (once) one (config, scheme) sweep cell, reusing the
+// compiled program for the point's compiler config.
+func (r *Runner) runPoint(short string, cfg npu.Config, scheme memprot.Scheme) (uint64, error) {
+	k := sweepRunKey{short, cfg, scheme}
+	label := fmt.Sprintf("%s/sweep/%s", short, scheme)
+	return compute(r, r.sweepRuns, k, "simulate", label, func() (uint64, error) {
+		prog, err := r.sweepProgram(short, cfg.CompilerConfig())
 		if err != nil {
-			return s, err
+			return 0, err
 		}
-		tl, err := runPoint(short, p.cfg, memprot.TreeLess)
+		bus := dram.NewBus(cfg.Mem)
+		eng, err := memprot.New(scheme, memprot.DefaultConfig(bus))
 		if err != nil {
-			return s, err
+			return 0, err
 		}
-		s.Points = append(s.Points, SweepPoint{
+		mach := npu.NewMachine(prog, eng)
+		mach.Run()
+		return mach.Cycles(), nil
+	})
+}
+
+// sweepOver evaluates all three schemes at each configuration, fanning the
+// (point, scheme) grid across the worker pool; cells land at their grid
+// index so the table is identical to a sequential build.
+func (r *Runner) sweepOver(name, short string, points []sweepPoint) (Sweep, error) {
+	s := Sweep{Name: name, Model: short, Points: make([]SweepPoint, len(points))}
+	schemes := []memprot.Scheme{memprot.Unsecure, memprot.Baseline, memprot.TreeLess}
+	cycles := make([]uint64, len(points)*len(schemes))
+	err := r.forEach(len(cycles), func(i int) error {
+		p, scheme := points[i/len(schemes)], schemes[i%len(schemes)]
+		c, err := r.runPoint(short, p.cfg, scheme)
+		if err != nil {
+			return err
+		}
+		cycles[i] = c
+		return nil
+	})
+	if err != nil {
+		return Sweep{Name: name, Model: short}, err
+	}
+	for i, p := range points {
+		u, b, tl := cycles[i*3], cycles[i*3+1], cycles[i*3+2]
+		s.Points[i] = SweepPoint{
 			Label:    p.label,
 			Baseline: float64(b) / float64(u),
 			TNPU:     float64(tl) / float64(u),
-		})
+		}
 	}
 	return s, nil
 }
@@ -88,57 +125,48 @@ func sweepOver(name, short string, points []struct {
 // BandwidthSweep scales the Small NPU's memory bandwidth: the baseline's
 // stall-bound pathologies worsen as the bus gets faster relative to the
 // fixed DRAM latency; TNPU tracks the (shrinking) traffic overhead.
-func BandwidthSweep(short string) (Sweep, error) {
-	var points []struct {
-		label string
-		cfg   npu.Config
-	}
+func (r *Runner) BandwidthSweep(short string) (Sweep, error) {
+	var points []sweepPoint
 	for _, mult := range []float64{0.5, 1, 2, 4} {
 		cfg := npu.SmallNPU()
 		cfg.Mem.BandwidthBytesPerSec = uint64(float64(cfg.Mem.BandwidthBytesPerSec) * mult)
-		points = append(points, struct {
-			label string
-			cfg   npu.Config
-		}{fmt.Sprintf("%.1fx BW", mult), cfg})
+		points = append(points, sweepPoint{fmt.Sprintf("%.1fx BW", mult), cfg})
 	}
-	return sweepOver("memory bandwidth", short, points)
+	return r.sweepOver("memory bandwidth", short, points)
 }
 
 // SPMSweep scales the scratchpad: bigger tiles mean fewer re-reads and
 // fewer counter fetches (the paper's Large-vs-Small observation).
-func SPMSweep(short string) (Sweep, error) {
-	var points []struct {
-		label string
-		cfg   npu.Config
-	}
+func (r *Runner) SPMSweep(short string) (Sweep, error) {
+	var points []sweepPoint
 	for _, kb := range []uint64{128, 256, 480, 1024, 2048} {
 		cfg := npu.SmallNPU()
 		cfg.SPM.CapacityBytes = kb << 10
-		points = append(points, struct {
-			label string
-			cfg   npu.Config
-		}{fmt.Sprintf("%dKB SPM", kb), cfg})
+		points = append(points, sweepPoint{fmt.Sprintf("%dKB SPM", kb), cfg})
 	}
-	return sweepOver("scratchpad capacity", short, points)
+	return r.sweepOver("scratchpad capacity", short, points)
 }
 
 // LatencySweep scales the DRAM access latency, the cost every serialized
 // counter-tree level pays and TNPU avoids.
-func LatencySweep(short string) (Sweep, error) {
-	var points []struct {
-		label string
-		cfg   npu.Config
-	}
+func (r *Runner) LatencySweep(short string) (Sweep, error) {
+	var points []sweepPoint
 	for _, lat := range []uint64{50, 100, 200, 400} {
 		cfg := npu.SmallNPU()
 		cfg.Mem.LatencyCycles = lat
-		points = append(points, struct {
-			label string
-			cfg   npu.Config
-		}{fmt.Sprintf("%d-cycle DRAM", lat), cfg})
+		points = append(points, sweepPoint{fmt.Sprintf("%d-cycle DRAM", lat), cfg})
 	}
-	return sweepOver("DRAM latency", short, points)
+	return r.sweepOver("DRAM latency", short, points)
 }
+
+// BandwidthSweep is the standalone form of Runner.BandwidthSweep.
+func BandwidthSweep(short string) (Sweep, error) { return NewRunner(short).BandwidthSweep(short) }
+
+// SPMSweep is the standalone form of Runner.SPMSweep.
+func SPMSweep(short string) (Sweep, error) { return NewRunner(short).SPMSweep(short) }
+
+// LatencySweep is the standalone form of Runner.LatencySweep.
+func LatencySweep(short string) (Sweep, error) { return NewRunner(short).LatencySweep(short) }
 
 // LayerShare is one layer's slice of the execution under each scheme.
 type LayerShare struct {

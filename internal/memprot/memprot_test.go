@@ -365,3 +365,37 @@ func TestCounterPrefetch(t *testing.T) {
 		t.Errorf("prefetch traffic missing: %d", e.Traffic().Read(stats.Counter))
 	}
 }
+
+// TestPrefetchKeepsDemandStatsClean asserts the CounterPrefetch ablation
+// cannot pollute the Figure 5 demand miss rate: the same access stream
+// with prefetch on performs the same number of demand lookups, with the
+// speculative fills visible only under Prefetches.
+func TestPrefetchKeepsDemandStatsClean(t *testing.T) {
+	run := func(prefetch bool) stats.CacheStats {
+		cfg := DefaultConfig(smallBus())
+		cfg.CounterPrefetch = prefetch
+		e, err := New(Baseline, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ready := uint64(0)
+		for addr := uint64(0); addr < 8*4096; addr += 64 {
+			_, ready = e.ReadBlock(ready, addr, 0)
+		}
+		return *e.CounterStats()
+	}
+	off := run(false)
+	on := run(true)
+	if on.Lookups != off.Lookups {
+		t.Errorf("prefetch changed demand lookups: %d -> %d", off.Lookups, on.Lookups)
+	}
+	if on.Prefetches == 0 {
+		t.Error("prefetch run recorded no prefetch fills")
+	}
+	if off.Prefetches != 0 {
+		t.Errorf("prefetch-off run recorded %d prefetch fills", off.Prefetches)
+	}
+	if on.Misses >= off.Misses {
+		t.Errorf("prefetch did not reduce demand misses: %d -> %d", off.Misses, on.Misses)
+	}
+}

@@ -102,15 +102,20 @@ func (t *Traffic) String() string {
 	return b.String()
 }
 
-// CacheStats counts lookups and misses for one cache instance.
+// CacheStats counts lookups and misses for one cache instance. Lookups
+// and Misses cover demand accesses only; speculative fills are counted
+// under Prefetches so that enabling a prefetcher never distorts the
+// demand miss rate.
 type CacheStats struct {
 	Lookups    uint64
 	Misses     uint64
 	Evictions  uint64
 	Writebacks uint64
+	Prefetches uint64
 }
 
-// MissRate returns Misses/Lookups, or 0 when there were no lookups.
+// MissRate returns the demand miss rate Misses/Lookups, or 0 when there
+// were no lookups. Prefetch fills do not enter either term.
 func (s *CacheStats) MissRate() float64 {
 	if s.Lookups == 0 {
 		return 0
@@ -124,6 +129,7 @@ func (s *CacheStats) Merge(other *CacheStats) {
 	s.Misses += other.Misses
 	s.Evictions += other.Evictions
 	s.Writebacks += other.Writebacks
+	s.Prefetches += other.Prefetches
 }
 
 // GeoMean returns the geometric mean of xs. It panics on non-positive

@@ -214,7 +214,20 @@ func Overhead(short string, class Class, scheme Scheme, count int) (float64, err
 // NewPaperRunner returns the experiment harness that regenerates every
 // table and figure of the paper's evaluation (optionally restricted to a
 // subset of workloads).
+//
+// The runner is safe for concurrent use: each (model, class, scheme,
+// count) cell is simulated exactly once no matter how many goroutines
+// ask, and figure/sweep generators fan independent cells across a
+// bounded worker pool with output byte-identical to a sequential run.
+// Set Workers (0 = GOMAXPROCS, 1 = sequential) and Progress (e.g.
+// os.Stderr for per-cell status lines) before the first call; Log()
+// exposes the RunLog instrumentation afterwards.
 func NewPaperRunner(models ...string) *exp.Runner { return exp.NewRunner(models...) }
+
+// RunLog is the experiment harness's observability record: per-cell wall
+// times, completion counts, and compile-vs-simulate totals. Obtain one
+// via NewPaperRunner().Log().
+type RunLog = exp.RunLog
 
 // SecureContext is the functional trusted-NPU runtime (real encryption,
 // MACs, and version bookkeeping over real bytes).
