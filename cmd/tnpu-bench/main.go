@@ -9,8 +9,15 @@
 //	tnpu-bench                # everything
 //	tnpu-bench -models df,res # restrict the workload set
 //	tnpu-bench -only fig14    # one artifact
+//	tnpu-bench -attack        # adversarial fault-injection campaign
 //	tnpu-bench -parallel 8    # worker count (0 = GOMAXPROCS)
 //	tnpu-bench -v             # per-cell progress + run log on stderr
+//
+// The -attack mode mounts replay, splicing, tampering, and version
+// rollback faults against every scheme over real workload traces and
+// checks the detection matrix; it exits non-zero if any protected scheme
+// misses an injection (or an unprotected one claims a detection). The
+// default workload set for -attack is df,agz,ncf; -models overrides it.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 func main() {
 	modelsFlag := flag.String("models", "", "comma-separated workload subset (default: all 14)")
 	onlyFlag := flag.String("only", "", "single artifact: table3|fig4|fig5|fig14|fig15|fig16|fig17|storage|hwcost|sweeps")
+	attackFlag := flag.Bool("attack", false, "run the adversarial fault-injection campaign instead of the performance artifacts")
 	jsonFlag := flag.Bool("json", false, "emit the whole evaluation as JSON (for plotting scripts)")
 	mdFlag := flag.String("md", "", "also write a Markdown report to this file")
 	parallelFlag := flag.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = sequential)")
@@ -36,6 +44,8 @@ func main() {
 	var models []string
 	if *modelsFlag != "" {
 		models = strings.Split(*modelsFlag, ",")
+	} else if *attackFlag {
+		models = []string{"df", "agz", "ncf"}
 	}
 	r := tnpu.NewPaperRunner(models...)
 	r.Workers = *parallelFlag
@@ -43,11 +53,42 @@ func main() {
 		r.Progress = os.Stderr
 	}
 
-	code := run(r, *onlyFlag, *jsonFlag, *mdFlag)
+	var code int
+	if *attackFlag {
+		code = runAttack(r)
+	} else {
+		code = run(r, *onlyFlag, *jsonFlag, *mdFlag)
+	}
 	if *verboseFlag {
 		fmt.Fprint(os.Stderr, r.Log().Summary())
 	}
 	os.Exit(code)
+}
+
+// runAttack mounts the fault-injection campaign over every runner model
+// and checks the paper's detection matrix. Exit code 1 means at least one
+// cell violated it (a protected scheme missed an injection, or an
+// unprotected scheme claimed a detection).
+func runAttack(r *exp.Runner) int {
+	reps, err := r.DetectionMatrix(exp.Small)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tnpu-bench:", err)
+		return 1
+	}
+	code := 0
+	for _, rep := range reps {
+		fmt.Printf("Detection matrix: %s (Small NPU)\n", rep.Model)
+		fmt.Println(rep.Table())
+		fmt.Println(rep.Summary())
+		if err := rep.Matrix(); err != nil {
+			fmt.Fprintf(os.Stderr, "tnpu-bench: %s: detection matrix violated:\n%v\n", rep.Model, err)
+			code = 1
+		}
+	}
+	if code == 0 {
+		fmt.Println("detection matrix: PASS (every protected scheme detected every injection)")
+	}
+	return code
 }
 
 // run executes the selected artifacts and returns the process exit code.

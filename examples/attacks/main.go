@@ -39,7 +39,7 @@ func main() {
 	must(sc.WriteTensor(ten.ID, pattern(256, 1)))
 
 	// 1. Tampering.
-	sc.Memory().Corrupt(ten.Addr, 17)
+	must(sc.Memory().Corrupt(ten.Addr, 17))
 	report("tampering (bit flip in DRAM)", read(sc, ten.ID))
 	must(sc.WriteTensor(ten.ID, pattern(256, 2))) // heal
 
@@ -51,7 +51,7 @@ func main() {
 	must(sc.WriteTensor(ten.ID, pattern(256, 4)))
 
 	// 3. Splicing: copy block 0 over block 1 (both currently valid).
-	sc.Memory().Relocate(ten.Addr, ten.Addr+64)
+	must(sc.Memory().Relocate(ten.Addr, ten.Addr+64))
 	report("splicing (valid block moved to another address)", read(sc, ten.ID))
 	must(sc.WriteTensor(ten.ID, pattern(256, 5)))
 

@@ -1,0 +1,435 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"tnpu/internal/compiler"
+	"tnpu/internal/dram"
+	"tnpu/internal/isa"
+	"tnpu/internal/memprot"
+	"tnpu/internal/secmem"
+	"tnpu/internal/stats"
+)
+
+// Outcome is one campaign cell: a (scheme, target, kind) triple with the
+// effect the detection matrix demands and the effect the injection
+// actually produced.
+type Outcome struct {
+	Scheme memprot.Scheme
+	Target Target
+	Kind   Kind
+	Expect Effect
+	Got    Effect
+	// Victim is the attacked block address (for diagnostics).
+	Victim uint64
+	// Fired reports the injection actually triggered; a cell whose
+	// victim was never read is a harness bug, not a detection result.
+	Fired bool
+	// Err records a harness-level failure (empty for valid cells).
+	Err string
+}
+
+// Report is a completed campaign over one workload.
+type Report struct {
+	Model    string
+	Outcomes []Outcome
+}
+
+// Campaign sweeps attack kind x victim traffic class x protection scheme
+// over one compiled workload. Every cell runs on its own fresh memory and
+// injector, so cells are independent and run concurrently.
+type Campaign struct {
+	// Schemes, Kinds, Targets select the swept axes; nil means all
+	// (including the EncryptOnly bound, which shares Unsecure's row of
+	// the detection matrix).
+	Schemes []memprot.Scheme
+	Kinds   []Kind
+	Targets []Target
+	// Workers bounds concurrent cells (0 = GOMAXPROCS).
+	Workers int
+	// Thorough runs each cell as a full two-request service flow: request
+	// 0 executes every write, and request 1 verifies every read. The
+	// default fast path seeds only the victim's history and verifies only
+	// the victim's read — identical injection point and classification,
+	// at a fraction of the crypto cost, which is what makes sweeping real
+	// models affordable.
+	Thorough bool
+}
+
+// victims maps each requested traffic class to its chosen victim block,
+// plus the donor block splices copy from.
+type victims struct {
+	byTarget map[Target]uint64
+	donor    uint64
+}
+
+// selectVictims picks, per requested traffic class, the earliest-read
+// block of that class in the trace — the injection then fires (and the
+// cell finishes) as early into request 1 as possible. The donor is the
+// first parameter block that is no victim, so it provably holds valid
+// data whenever a splice fires.
+func selectVictims(prog *compiler.Program, targets []Target) (*victims, error) {
+	if len(prog.Tensors) == 0 {
+		return nil, fmt.Errorf("attack: program has no tensors")
+	}
+	input := prog.Tensors[0]
+	output := prog.Tensors[len(prog.Tensors)-1]
+
+	classOf := func(addr uint64) (Target, bool) {
+		for _, ten := range prog.Tensors {
+			if addr < ten.Addr || addr >= ten.End() {
+				continue
+			}
+			switch {
+			case ten.ID == input.ID:
+				return Input, true
+			case compiler.IsWeight(ten.Name):
+				return Weights, true
+			case ten.ID == output.ID:
+				return Output, true
+			}
+			return Activation, true
+		}
+		return 0, false
+	}
+
+	want := make(map[Target]bool, len(targets))
+	missing := 0
+	for _, t := range targets {
+		if !want[t] {
+			want[t] = true
+			missing++
+		}
+	}
+	v := &victims{byTarget: make(map[Target]uint64, len(targets))}
+	take := func(t Target, addr uint64) {
+		if want[t] {
+			if _, ok := v.byTarget[t]; !ok {
+				v.byTarget[t] = addr
+				missing--
+			}
+		}
+	}
+	// The output tensor is always read by the executor's readback phase,
+	// even when no mvin consumes it.
+	take(Output, output.Addr)
+
+	written := make(map[uint64]bool)
+	for i := range prog.Trace.Instrs {
+		if missing == 0 {
+			break
+		}
+		in := &prog.Trace.Instrs[i]
+		switch in.Op {
+		case isa.OpMvOut:
+			for _, seg := range in.Segments {
+				blocksOf(seg, func(addr uint64) error {
+					written[addr] = true
+					return nil
+				})
+			}
+		case isa.OpMvIn:
+			for _, seg := range in.Segments {
+				blocksOf(seg, func(addr uint64) error {
+					cls, ok := classOf(addr)
+					if !ok {
+						return nil
+					}
+					// An activation victim must demonstrably be produced
+					// by an earlier mvout, so the attack hits the
+					// producer-consumer path rather than a boundary block.
+					if cls == Activation && !written[addr] {
+						return nil
+					}
+					take(cls, addr)
+					return nil
+				})
+			}
+		}
+	}
+	for _, t := range targets {
+		if _, ok := v.byTarget[t]; !ok {
+			return nil, fmt.Errorf("attack: no %s block is read by the trace", t)
+		}
+	}
+
+	isVictim := func(addr uint64) bool {
+		for _, a := range v.byTarget {
+			if a == addr {
+				return true
+			}
+		}
+		return false
+	}
+	for _, ten := range prog.Tensors {
+		if !compiler.IsParameter(ten.Name) {
+			continue
+		}
+		for blk := uint64(0); blk < ten.Blocks(); blk++ {
+			if addr := ten.Addr + blk*dram.BlockBytes; !isVictim(addr) {
+				v.donor = addr
+				return v, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("attack: no donor block available")
+}
+
+// AvailableTargets returns the victim traffic classes the program's trace
+// actually exposes. Not every workload has all four: embedding models
+// like NCF consume their input as CPU-side gather indices, so no input
+// block ever crosses the bus via mvin.
+func AvailableTargets(prog *compiler.Program) []Target {
+	var out []Target
+	for _, t := range Targets() {
+		if _, err := selectVictims(prog, []Target{t}); err == nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// runCell mounts one planned attack on a fresh memory and classifies the
+// result.
+func runCell(prog *compiler.Program, scheme memprot.Scheme, kind Kind, target Target, v *victims, bit uint, thorough bool) Outcome {
+	out := Outcome{
+		Scheme: scheme,
+		Target: target,
+		Kind:   kind,
+		Expect: Expected(scheme, kind),
+		Victim: v.byTarget[target],
+	}
+	fail := func(format string, args ...any) Outcome {
+		out.Err = fmt.Sprintf(format, args...)
+		return out
+	}
+
+	encKey, macKey := TestKeys()
+	mem, err := NewMemory(scheme, prog.MemoryTop, encKey, macKey)
+	if err != nil {
+		return fail("memory: %v", err)
+	}
+	inj := NewInjector(mem, Plan{Kind: kind, Victim: out.Victim, Donor: v.donor, Bit: bit})
+	x := NewExecutor(prog, inj)
+
+	// Request 0 gives the snooper a write history to capture: the full
+	// request in thorough mode, just the victim's slice of it otherwise.
+	if thorough {
+		if err := x.RunRequest(0, false); err != nil {
+			return fail("request 0: %v", err)
+		}
+	} else {
+		if err := x.Seed(0, out.Victim); err != nil {
+			return fail("seed: %v", err)
+		}
+		victim, donor := out.Victim, v.donor
+		x.ReadFilter = func(addr uint64) bool { return addr == victim }
+		x.WriteFilter = func(addr uint64) bool { return addr == victim || addr == donor }
+	}
+	inj.Arm()
+	err = x.RunRequest(1, true)
+	out.Fired = inj.Fired()
+
+	switch {
+	case err == nil:
+		out.Got = None
+	case errors.Is(err, secmem.ErrIntegrity):
+		out.Got = Detected
+	case errors.Is(err, ErrSilentCorruption):
+		out.Got = SilentCorruption
+	default:
+		return fail("request 1: %v", err)
+	}
+	if !out.Fired {
+		return fail("injection never triggered (victim %#x unread)", out.Victim)
+	}
+	return out
+}
+
+// Run executes the full sweep over a compiled program. The model name
+// only labels the report.
+func (c Campaign) Run(model string, prog *compiler.Program) (*Report, error) {
+	schemes := c.Schemes
+	if schemes == nil {
+		schemes = memprot.AllSchemes()
+	}
+	kinds := c.Kinds
+	if kinds == nil {
+		kinds = Kinds()
+	}
+	targets := c.Targets
+	if targets == nil {
+		targets = Targets()
+	}
+	v, err := selectVictims(prog, targets)
+	if err != nil {
+		return nil, err
+	}
+
+	type spec struct {
+		scheme memprot.Scheme
+		kind   Kind
+		target Target
+	}
+	var specs []spec
+	for _, s := range schemes {
+		for _, t := range targets {
+			for _, k := range kinds {
+				specs = append(specs, spec{s, k, t})
+			}
+		}
+	}
+
+	rep := &Report{Model: model, Outcomes: make([]Outcome, len(specs))}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				s := specs[i]
+				// Vary the flipped bit across cells so tampering is not
+				// pinned to one byte of the 64B block / 8B MAC / packed
+				// counter line.
+				rep.Outcomes[i] = runCell(prog, s.scheme, s.kind, s.target, v, uint(17*i+5), c.Thorough)
+			}
+		}()
+	}
+	for i := range specs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return rep, nil
+}
+
+// Stats aggregates per-scheme detection counters over the outcomes.
+func (r *Report) Stats() map[memprot.Scheme]*stats.DetectionStats {
+	out := make(map[memprot.Scheme]*stats.DetectionStats)
+	for _, o := range r.Outcomes {
+		d := out[o.Scheme]
+		if d == nil {
+			d = &stats.DetectionStats{}
+			out[o.Scheme] = d
+		}
+		d.Injections++
+		switch o.Got {
+		case Detected:
+			d.Detected++
+		case SilentCorruption:
+			d.Silent++
+		default:
+			d.Inert++
+		}
+	}
+	return out
+}
+
+// Matrix checks every outcome against the paper's detection matrix and
+// returns a joined error describing each violation (nil when the matrix
+// holds exactly).
+func (r *Report) Matrix() error {
+	var errs []error
+	for _, o := range r.Outcomes {
+		switch {
+		case o.Err != "":
+			errs = append(errs, fmt.Errorf("%s: %s/%s/%s: harness: %s",
+				r.Model, o.Scheme, o.Target, o.Kind, o.Err))
+		case o.Got != o.Expect:
+			errs = append(errs, fmt.Errorf("%s: %s/%s/%s: expected %s, got %s",
+				r.Model, o.Scheme, o.Target, o.Kind, o.Expect, o.Got))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Table renders the outcome grid: one row per (scheme, kind), one column
+// per victim traffic class.
+func (r *Report) Table() string {
+	targets := r.targets()
+	header := []string{"scheme", "attack"}
+	for _, t := range targets {
+		header = append(header, t.String())
+	}
+	tb := stats.NewTable(header...)
+	type rowKey struct {
+		scheme memprot.Scheme
+		kind   Kind
+	}
+	rows := make(map[rowKey]map[Target]Outcome)
+	var order []rowKey
+	for _, o := range r.Outcomes {
+		k := rowKey{o.Scheme, o.Kind}
+		if rows[k] == nil {
+			rows[k] = make(map[Target]Outcome)
+			order = append(order, k)
+		}
+		rows[k][o.Target] = o
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].scheme != order[j].scheme {
+			return order[i].scheme < order[j].scheme
+		}
+		return order[i].kind < order[j].kind
+	})
+	for _, k := range order {
+		cells := []string{k.scheme.String(), k.kind.String()}
+		for _, t := range targets {
+			o, ok := rows[k][t]
+			switch {
+			case !ok:
+				cells = append(cells, "-")
+			case o.Err != "":
+				cells = append(cells, "ERROR")
+			case o.Got != o.Expect:
+				cells = append(cells, fmt.Sprintf("%s!=%s", o.Got, o.Expect))
+			default:
+				cells = append(cells, o.Got.String())
+			}
+		}
+		tb.AddRow(cells...)
+	}
+	return tb.String()
+}
+
+// Summary renders per-scheme coverage lines.
+func (r *Report) Summary() string {
+	st := r.Stats()
+	var schemes []memprot.Scheme
+	for s := range st {
+		schemes = append(schemes, s)
+	}
+	sort.Slice(schemes, func(i, j int) bool { return schemes[i] < schemes[j] })
+	var b strings.Builder
+	for _, s := range schemes {
+		fmt.Fprintf(&b, "%-12s %s\n", s, st[s])
+	}
+	return b.String()
+}
+
+// targets returns the distinct victim classes present, in sweep order.
+func (r *Report) targets() []Target {
+	seen := make(map[Target]bool)
+	var out []Target
+	for _, o := range r.Outcomes {
+		if !seen[o.Target] {
+			seen[o.Target] = true
+			out = append(out, o.Target)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

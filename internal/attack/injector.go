@@ -1,0 +1,92 @@
+package attack
+
+import "fmt"
+
+// Plan describes one fault to mount: what kind, against which victim
+// block, and with what parameters.
+type Plan struct {
+	Kind Kind
+	// Victim is the block address attacked.
+	Victim uint64
+	// Donor is the source block address for Splice (ignored otherwise).
+	Donor uint64
+	// Bit selects the flipped bit for the Tamper* kinds; adapters reduce
+	// it modulo the targeted structure's width.
+	Bit uint
+}
+
+// Injector is the fault-injecting memory wrapper: it implements Memory by
+// delegation and, once armed, mounts its Plan exactly once — immediately
+// before the next read of the victim block, the point where a bus
+// interposer swaps the lines the controller is about to fetch. It also
+// snoops writes to the victim so a Replay has a genuine stale
+// (data, MAC) capture from the bus to play back.
+//
+// Not safe for concurrent use, matching the memories it wraps: each
+// campaign cell owns one injector over one memory.
+type Injector struct {
+	Memory
+	plan     Plan
+	armed    bool
+	fired    bool
+	hasStale bool
+	stale    Blob
+}
+
+// NewInjector wraps mem with a planned fault. The injector is created
+// disarmed so the victim run can reach a healthy state first.
+func NewInjector(mem Memory, plan Plan) *Injector {
+	return &Injector{Memory: mem, plan: plan}
+}
+
+// Arm makes the next read of the victim trigger the injection.
+func (j *Injector) Arm() { j.armed = true }
+
+// Fired reports whether the planned fault was mounted.
+func (j *Injector) Fired() bool { return j.fired }
+
+// WriteBlock snoops victim writes: the block's bus-visible state just
+// before each overwrite is kept as the stale capture a Replay restores.
+func (j *Injector) WriteBlock(addr uint64, plaintext []byte, version uint64) error {
+	if addr == j.plan.Victim {
+		if b, ok := j.Memory.Snapshot(addr); ok {
+			j.stale, j.hasStale = b, true
+		}
+	}
+	return j.Memory.WriteBlock(addr, plaintext, version)
+}
+
+// ReadBlock mounts the planned fault before the first armed read of the
+// victim, then lets the read proceed against the tampered state.
+func (j *Injector) ReadBlock(addr, version uint64) ([]byte, error) {
+	if j.armed && !j.fired && addr == j.plan.Victim {
+		j.fired = true
+		if err := j.inject(); err != nil {
+			return nil, fmt.Errorf("attack: mounting %v on %#x: %w", j.plan.Kind, j.plan.Victim, err)
+		}
+	}
+	return j.Memory.ReadBlock(addr, version)
+}
+
+// inject performs the planned fault against the wrapped memory.
+func (j *Injector) inject() error {
+	switch j.plan.Kind {
+	case Replay:
+		if !j.hasStale {
+			return fmt.Errorf("no stale capture of victim (written fewer than twice)")
+		}
+		j.Memory.Restore(j.plan.Victim, j.stale)
+		return nil
+	case Splice:
+		return j.Memory.Splice(j.plan.Donor, j.plan.Victim)
+	case TamperData:
+		return j.Memory.CorruptData(j.plan.Victim, j.plan.Bit)
+	case TamperMAC:
+		return j.Memory.CorruptMAC(j.plan.Victim, j.plan.Bit)
+	case TamperFreshness:
+		return j.Memory.CorruptFreshness(j.plan.Victim, j.plan.Bit)
+	case Rollback:
+		return j.Memory.RollbackFreshness(j.plan.Victim)
+	}
+	return fmt.Errorf("unknown attack kind %d", int(j.plan.Kind))
+}

@@ -1,0 +1,361 @@
+package attack
+
+import (
+	"fmt"
+
+	"tnpu/internal/dram"
+	"tnpu/internal/integrity"
+	"tnpu/internal/memprot"
+	"tnpu/internal/secmem"
+)
+
+// Blob is one block's externally visible DRAM state — whatever a bus
+// snooper can capture and later replay: stored data (ciphertext for
+// encrypted schemes, plaintext for unsecure) plus the block MAC where the
+// scheme keeps one.
+type Blob struct {
+	Data [dram.BlockBytes]byte
+	MAC  [secmem.MACBytes]byte
+}
+
+// Memory is the scheme-generic functional block memory the harness
+// attacks. The first three methods are the victim's own access path; the
+// rest are the physical attacker surface. Write versions are supplied by
+// the caller (the software's version bookkeeping); schemes that track
+// freshness in hardware ignore them.
+//
+// Attacker operations that target a scheme surface the scheme does not
+// have (a MAC flip against unsecure DRAM, a freshness rollback where no
+// freshness metadata exists) succeed as no-ops: the physical attack
+// "lands" on bits that do not exist, which is exactly why its effect is
+// None. Operations on absent blocks return secmem.ErrAbsentBlock.
+type Memory interface {
+	Scheme() memprot.Scheme
+	WriteBlock(addr uint64, plaintext []byte, version uint64) error
+	ReadBlock(addr, version uint64) ([]byte, error)
+
+	// Snapshot captures a block's bus-visible state; ok reports presence.
+	Snapshot(addr uint64) (b Blob, ok bool)
+	// Restore replays a captured snapshot over the block.
+	Restore(addr uint64, b Blob)
+	// Splice copies the bus-visible state of src over dst.
+	Splice(src, dst uint64) error
+	// CorruptData flips one bit of the block's stored data.
+	CorruptData(addr uint64, bit uint) error
+	// CorruptMAC flips one bit of the block's stored MAC.
+	CorruptMAC(addr uint64, bit uint) error
+	// CorruptFreshness flips one bit of the scheme's freshness metadata
+	// covering the block (version entry or counter line).
+	CorruptFreshness(addr uint64, bit uint) error
+	// RollbackFreshness rolls the freshness metadata covering the block
+	// back to its state before the most recent write.
+	RollbackFreshness(addr uint64) error
+}
+
+// TestKeys returns deterministic key material for campaigns: a 32-byte
+// master encryption key and a 16-byte MAC key. Real deployments provision
+// keys at attestation; the harness only needs them fixed and distinct.
+func TestKeys() (encKey, macKey []byte) {
+	encKey = make([]byte, 32)
+	for i := range encKey {
+		encKey[i] = byte(0xA0 + i)
+	}
+	macKey = make([]byte, 16)
+	for i := range macKey {
+		macKey[i] = byte(0x5C ^ i*7)
+	}
+	return encKey, macKey
+}
+
+// NewMemory builds the functional protected memory for a scheme over a
+// dataBytes region. encKey must be 32 bytes (XTS schemes use all of it,
+// counter-mode uses the first 16); macKey keys block and node MACs.
+func NewMemory(s memprot.Scheme, dataBytes uint64, encKey, macKey []byte) (Memory, error) {
+	if len(encKey) != 32 {
+		return nil, fmt.Errorf("attack: enc key must be 32 bytes, got %d", len(encKey))
+	}
+	switch s {
+	case memprot.Unsecure:
+		return &plainMem{blocks: make(map[uint64][dram.BlockBytes]byte)}, nil
+	case memprot.EncryptOnly:
+		xts, err := secmem.NewXTSEngine(encKey)
+		if err != nil {
+			return nil, err
+		}
+		return &xtsMem{xts: xts, blocks: make(map[uint64][dram.BlockBytes]byte)}, nil
+	case memprot.Baseline:
+		m, err := integrity.NewTreeMemory(dataBytes, encKey[:16], macKey)
+		if err != nil {
+			return nil, err
+		}
+		return &treeMem{m: m, prevLeaf: make(map[uint64]leafSnap)}, nil
+	case memprot.TreeLess:
+		m, err := secmem.NewTreelessMemory(encKey, macKey)
+		if err != nil {
+			return nil, err
+		}
+		return &treelessMem{
+			m:        m,
+			last:     make(map[uint64]uint64),
+			override: make(map[uint64]uint64),
+		}, nil
+	}
+	return nil, fmt.Errorf("attack: unknown scheme %v", s)
+}
+
+func absent(op string, addr uint64) error {
+	return fmt.Errorf("%w: %s of %#x", secmem.ErrAbsentBlock, op, addr)
+}
+
+// --- Tree-less TNPU adapter -------------------------------------------
+
+// treelessMem adapts secmem.TreelessMemory. Freshness lives in the
+// software version table (fully protected region, Sec. IV-C); the
+// override map models a tampered/rolled-back table entry: once set, reads
+// of the block verify against the overridden version instead of the one
+// the software supplies, and the version-keyed MAC catches the mismatch.
+type treelessMem struct {
+	m        *secmem.TreelessMemory
+	last     map[uint64]uint64 // last written version per block
+	override map[uint64]uint64 // tampered version-table entries
+}
+
+func (t *treelessMem) Scheme() memprot.Scheme { return memprot.TreeLess }
+
+func (t *treelessMem) WriteBlock(addr uint64, plaintext []byte, version uint64) error {
+	t.m.WriteBlock(addr, plaintext, version)
+	t.last[addr] = version
+	// The software rewrites the table entry on every version bump, so a
+	// prior tamper of this entry does not outlive the next write.
+	delete(t.override, addr)
+	return nil
+}
+
+func (t *treelessMem) ReadBlock(addr, version uint64) ([]byte, error) {
+	if ov, ok := t.override[addr]; ok {
+		version = ov
+	}
+	return t.m.ReadBlock(addr, version)
+}
+
+func (t *treelessMem) Snapshot(addr uint64) (Blob, bool) {
+	ct, mac, ok := t.m.Snapshot(addr)
+	return Blob{Data: ct, MAC: mac}, ok
+}
+
+func (t *treelessMem) Restore(addr uint64, b Blob) { t.m.Restore(addr, b.Data, b.MAC) }
+
+func (t *treelessMem) Splice(src, dst uint64) error { return t.m.Relocate(src, dst) }
+
+func (t *treelessMem) CorruptData(addr uint64, bit uint) error { return t.m.Corrupt(addr, bit) }
+
+func (t *treelessMem) CorruptMAC(addr uint64, bit uint) error { return t.m.CorruptMAC(addr, bit) }
+
+func (t *treelessMem) CorruptFreshness(addr uint64, bit uint) error {
+	v, ok := t.last[addr]
+	if !ok {
+		return absent("corrupt-freshness", addr)
+	}
+	t.override[addr] = v ^ 1<<(bit%64)
+	return nil
+}
+
+func (t *treelessMem) RollbackFreshness(addr uint64) error {
+	v, ok := t.last[addr]
+	if !ok {
+		return absent("rollback", addr)
+	}
+	t.override[addr] = v - 1
+	return nil
+}
+
+// --- Tree-based Baseline adapter --------------------------------------
+
+// leafSnap is a counter line's bus-visible state before the most recent
+// write through it — what a snooper replays to roll freshness back.
+type leafSnap struct {
+	raw [integrity.NodeBytes]byte
+	mac [secmem.MACBytes]byte
+}
+
+// treeMem adapts integrity.TreeMemory. Freshness is the hardware counter
+// tree: rollback replays a stale counter line (its MAC is keyed by the
+// parent counter, which has since advanced), and freshness tampering
+// flips a bit of the line's fully packed SC-64 encoding.
+type treeMem struct {
+	m        *integrity.TreeMemory
+	prevLeaf map[uint64]leafSnap // by level-0 line index
+}
+
+func (t *treeMem) Scheme() memprot.Scheme { return memprot.Baseline }
+
+func (t *treeMem) leafOf(addr uint64) uint64 {
+	lineIdx, _ := t.m.Tree().Geometry().CounterIndex(addr / dram.BlockBytes)
+	return lineIdx
+}
+
+func (t *treeMem) WriteBlock(addr uint64, plaintext []byte, version uint64) error {
+	// The trace's version operand is software bookkeeping the baseline
+	// hardware ignores — the counter tree tracks freshness itself.
+	_ = version
+	line := t.leafOf(addr)
+	raw, mac := t.m.Tree().SnapshotNode(0, line)
+	t.prevLeaf[line] = leafSnap{raw: raw, mac: mac}
+	return t.m.WriteBlock(addr, plaintext)
+}
+
+func (t *treeMem) ReadBlock(addr, version uint64) ([]byte, error) {
+	_ = version
+	return t.m.ReadBlock(addr)
+}
+
+func (t *treeMem) Snapshot(addr uint64) (Blob, bool) {
+	ct, mac, ok := t.m.SnapshotBlock(addr)
+	return Blob{Data: ct, MAC: mac}, ok
+}
+
+func (t *treeMem) Restore(addr uint64, b Blob) { t.m.RestoreBlock(addr, b.Data, b.MAC) }
+
+func (t *treeMem) Splice(src, dst uint64) error {
+	b, ok := t.Snapshot(src)
+	if !ok {
+		return absent("splice", src)
+	}
+	t.Restore(dst, b)
+	return nil
+}
+
+func (t *treeMem) CorruptData(addr uint64, bit uint) error { return t.m.CorruptBlock(addr, bit) }
+
+func (t *treeMem) CorruptMAC(addr uint64, bit uint) error { return t.m.CorruptMAC(addr, bit) }
+
+func (t *treeMem) CorruptFreshness(addr uint64, bit uint) error {
+	if _, _, ok := t.m.SnapshotBlock(addr); !ok {
+		return absent("corrupt-freshness", addr)
+	}
+	t.m.Tree().CorruptNode(0, t.leafOf(addr), bit)
+	return nil
+}
+
+func (t *treeMem) RollbackFreshness(addr uint64) error {
+	snap, ok := t.prevLeaf[t.leafOf(addr)]
+	if !ok {
+		return absent("rollback", addr)
+	}
+	t.m.Tree().RestoreNode(0, t.leafOf(addr), snap.raw, snap.mac)
+	return nil
+}
+
+// --- Unsecure adapter --------------------------------------------------
+
+// plainMem is unprotected DRAM: plaintext storage, no MAC, no freshness.
+// Every data attack lands silently; metadata attacks have nothing to hit.
+type plainMem struct {
+	blocks map[uint64][dram.BlockBytes]byte
+}
+
+func (p *plainMem) Scheme() memprot.Scheme { return memprot.Unsecure }
+
+func (p *plainMem) WriteBlock(addr uint64, plaintext []byte, version uint64) error {
+	var b [dram.BlockBytes]byte
+	copy(b[:], plaintext)
+	p.blocks[addr] = b
+	return nil
+}
+
+func (p *plainMem) ReadBlock(addr, version uint64) ([]byte, error) {
+	b, ok := p.blocks[addr]
+	if !ok {
+		return nil, fmt.Errorf("attack: unsecure read of absent block %#x", addr)
+	}
+	out := make([]byte, dram.BlockBytes)
+	copy(out, b[:])
+	return out, nil
+}
+
+func (p *plainMem) Snapshot(addr uint64) (Blob, bool) {
+	b, ok := p.blocks[addr]
+	return Blob{Data: b}, ok
+}
+
+func (p *plainMem) Restore(addr uint64, b Blob) { p.blocks[addr] = b.Data }
+
+func (p *plainMem) Splice(src, dst uint64) error {
+	b, ok := p.blocks[src]
+	if !ok {
+		return absent("splice", src)
+	}
+	p.blocks[dst] = b
+	return nil
+}
+
+func (p *plainMem) CorruptData(addr uint64, bit uint) error {
+	b, ok := p.blocks[addr]
+	if !ok {
+		return absent("corrupt", addr)
+	}
+	b[bit/8%dram.BlockBytes] ^= 1 << (bit % 8)
+	p.blocks[addr] = b
+	return nil
+}
+
+func (p *plainMem) CorruptMAC(addr uint64, bit uint) error       { return nil }
+func (p *plainMem) CorruptFreshness(addr uint64, bit uint) error { return nil }
+func (p *plainMem) RollbackFreshness(addr uint64) error          { return nil }
+
+// --- Encrypt-only adapter ----------------------------------------------
+
+// xtsMem is XTS encryption without integrity: confidentiality holds, but
+// tampered or replayed ciphertext decrypts to wrong plaintext that the
+// consumer accepts — the same silent-corruption exposure as unsecure.
+type xtsMem struct {
+	xts    *secmem.XTSEngine
+	blocks map[uint64][dram.BlockBytes]byte
+}
+
+func (x *xtsMem) Scheme() memprot.Scheme { return memprot.EncryptOnly }
+
+func (x *xtsMem) WriteBlock(addr uint64, plaintext []byte, version uint64) error {
+	var b [dram.BlockBytes]byte
+	copy(b[:], x.xts.Encrypt(addr, plaintext))
+	x.blocks[addr] = b
+	return nil
+}
+
+func (x *xtsMem) ReadBlock(addr, version uint64) ([]byte, error) {
+	b, ok := x.blocks[addr]
+	if !ok {
+		return nil, fmt.Errorf("attack: encrypt-only read of absent block %#x", addr)
+	}
+	return x.xts.Decrypt(addr, b[:]), nil
+}
+
+func (x *xtsMem) Snapshot(addr uint64) (Blob, bool) {
+	b, ok := x.blocks[addr]
+	return Blob{Data: b}, ok
+}
+
+func (x *xtsMem) Restore(addr uint64, b Blob) { x.blocks[addr] = b.Data }
+
+func (x *xtsMem) Splice(src, dst uint64) error {
+	b, ok := x.blocks[src]
+	if !ok {
+		return absent("splice", src)
+	}
+	x.blocks[dst] = b
+	return nil
+}
+
+func (x *xtsMem) CorruptData(addr uint64, bit uint) error {
+	b, ok := x.blocks[addr]
+	if !ok {
+		return absent("corrupt", addr)
+	}
+	b[bit/8%dram.BlockBytes] ^= 1 << (bit % 8)
+	x.blocks[addr] = b
+	return nil
+}
+
+func (x *xtsMem) CorruptMAC(addr uint64, bit uint) error       { return nil }
+func (x *xtsMem) CorruptFreshness(addr uint64, bit uint) error { return nil }
+func (x *xtsMem) RollbackFreshness(addr uint64) error          { return nil }

@@ -8,6 +8,7 @@ package compiler
 
 import (
 	"fmt"
+	"strings"
 
 	"tnpu/internal/isa"
 	"tnpu/internal/model"
@@ -15,6 +16,15 @@ import (
 	"tnpu/internal/systolic"
 	"tnpu/internal/tensor"
 )
+
+// IsWeight reports whether a tensor name denotes a layer's weights (the
+// compiler names them "<layer>.w").
+func IsWeight(name string) bool { return strings.HasSuffix(name, ".w") }
+
+// IsParameter reports whether a tensor is initialization-written data —
+// the model input or a layer's weights — i.e. the tensors the CPU enclave
+// streams into the NPU region before inference (Sec. V-D phase 1).
+func IsParameter(name string) bool { return name == "input" || IsWeight(name) }
 
 // Config selects the target NPU and versioning policy.
 type Config struct {

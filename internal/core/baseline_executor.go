@@ -46,7 +46,7 @@ func (x *BaselineTraceExecutor) Memory() *integrity.TreeMemory { return x.mem }
 // Init loads input and parameter tensors.
 func (x *BaselineTraceExecutor) Init() error {
 	for _, ten := range x.prog.Tensors {
-		if ten.Name != "input" && (len(ten.Name) < 2 || ten.Name[len(ten.Name)-2:] != ".w") {
+		if !compiler.IsParameter(ten.Name) {
 			continue
 		}
 		for blk := uint64(0); blk < ten.Blocks(); blk++ {

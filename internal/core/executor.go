@@ -80,7 +80,7 @@ func payload(addr, writer uint64) []byte {
 // parameter tensor exactly once.
 func (x *TraceExecutor) Init() {
 	for _, ten := range x.prog.Tensors {
-		if ten.Name != "input" && (len(ten.Name) < 2 || ten.Name[len(ten.Name)-2:] != ".w") {
+		if !compiler.IsParameter(ten.Name) {
 			continue
 		}
 		for blk := uint64(0); blk < ten.Blocks(); blk++ {

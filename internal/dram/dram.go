@@ -136,6 +136,12 @@ func (b *Bus) ReadAt(ready, addr, bytes uint64) (dataAt uint64) {
 }
 
 func (c *channel) transfer(ready, bytes uint64) (done uint64) {
+	if bytes == 0 {
+		// A zero-length transfer never occupies the bus: it completes at
+		// ready without advancing the horizon, opening a phantom idle gap,
+		// or disturbing the carried remainder.
+		return ready
+	}
 	ticks := bytes*c.num + c.rem
 	cycles := ticks / c.den
 	c.rem = ticks % c.den

@@ -241,3 +241,90 @@ func TestSingleChannelCompat(t *testing.T) {
 		t.Fatal("legacy Transfer diverges from TransferAt on channel 0")
 	}
 }
+
+// Zero-length transfers are pure no-ops: they complete at their ready
+// time without advancing the horizon, opening a phantom idle gap, or
+// touching the accounting counters.
+func TestZeroLengthTransfer(t *testing.T) {
+	b := NewBus(smallCfg)
+	if done := b.Transfer(500, 0); done != 500 {
+		t.Errorf("zero-byte transfer done at %d, want 500", done)
+	}
+	if b.Now() != 0 {
+		t.Errorf("zero-byte transfer moved the horizon to %d", b.Now())
+	}
+	if b.BytesMoved() != 0 || b.BusyCycles() != 0 {
+		t.Errorf("zero-byte transfer counted: %dB, %d cycles", b.BytesMoved(), b.BusyCycles())
+	}
+	// No phantom gap [0,500): a real transfer still starts at cycle 0.
+	if done := b.Transfer(0, 64); done != 16 {
+		t.Errorf("transfer after zero-byte no-op done at %d, want 16", done)
+	}
+	// A zero-byte read is latency only.
+	if at := b.Read(1000, 0); at != 1000+smallCfg.LatencyCycles {
+		t.Errorf("zero-byte read data at %d, want %d", at, 1000+smallCfg.LatencyCycles)
+	}
+}
+
+// A zero-length transfer must not flush the carried sub-cycle remainder:
+// 11B + 0B + 11B on the 22 B/cycle bus is exactly one busy cycle.
+func TestZeroLengthPreservesRemainder(t *testing.T) {
+	b := NewBus(largeCfg)
+	b.Transfer(0, 11)
+	b.Transfer(0, 0)
+	if done := b.Transfer(0, 11); done != 1 {
+		t.Errorf("11B+0B+11B done at %d, want 1", done)
+	}
+	if b.BusyCycles() != 1 {
+		t.Errorf("busy cycles = %d, want 1", b.BusyCycles())
+	}
+}
+
+// Back-to-back bursts chained on their own completion times cost exactly
+// the same as one contiguous stream — remainder carrying never double
+// charges across the seams.
+func TestBackToBackBurstExact(t *testing.T) {
+	b := NewBus(largeCfg) // 1/22 cycles per byte
+	var done uint64
+	for i := 0; i < 11; i++ {
+		done = b.Transfer(done, 64) // each burst ready when the last finished
+	}
+	if done != 32 { // 704 bytes / 22 B/cycle = exactly 32 cycles
+		t.Errorf("11 chained 64B bursts done at %d, want 32", done)
+	}
+	if b.BusyCycles() != 32 {
+		t.Errorf("busy cycles = %d, want 32", b.BusyCycles())
+	}
+}
+
+// ReadAt routes by address and adds the access latency on top of the
+// channel's transfer completion.
+func TestReadAtLatency(t *testing.T) {
+	cfg := smallCfg
+	cfg.Channels = 4
+	b := NewBus(cfg)
+	// Per-channel bandwidth is 1 B/cycle: 64B transfer + 100 latency.
+	if at := b.ReadAt(0, 64, 64); at != 164 {
+		t.Errorf("ReadAt data at %d, want 164", at)
+	}
+	// Channel 1 is now busy; channel 0 is untouched.
+	if at := b.ReadAt(0, 0, 64); at != 164 {
+		t.Errorf("ReadAt on idle channel data at %d, want 164", at)
+	}
+	if at := b.ReadAt(0, 64+4*64, 64); at != 228 {
+		t.Errorf("ReadAt on busy channel data at %d, want 228", at)
+	}
+}
+
+// The bandwidth cap holds for a single huge burst: a megabyte at
+// 4 B/cycle is exactly 2^18 cycles with no overflow or rounding slack.
+func TestLargeBurstBandwidthCap(t *testing.T) {
+	b := NewBus(smallCfg)
+	const bytes = 1 << 20
+	if done := b.Transfer(0, bytes); done != bytes/4 {
+		t.Errorf("1MiB burst done at %d, want %d", done, bytes/4)
+	}
+	if b.Utilization() != 1 {
+		t.Errorf("saturated bus utilization = %v, want 1", b.Utilization())
+	}
+}

@@ -55,7 +55,7 @@ func RunBatch(prog *compiler.Program, scheme memprot.Scheme, cfg npu.Config, req
 	// request below).
 	var t uint64
 	for _, ten := range prog.Tensors {
-		if len(ten.Name) < 2 || ten.Name[len(ten.Name)-2:] != ".w" {
+		if !compiler.IsWeight(ten.Name) {
 			continue
 		}
 		t = eng.VersionFetch(t, memprot.VTableSlot(uint32(ten.ID), 0), true)

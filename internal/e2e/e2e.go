@@ -17,8 +17,6 @@
 package e2e
 
 import (
-	"strings"
-
 	"tnpu/internal/compiler"
 	"tnpu/internal/dram"
 	"tnpu/internal/memprot"
@@ -44,11 +42,9 @@ type Result struct {
 // resident (init paid once across many requests).
 func (r Result) Amortized() uint64 { return r.RunCycles + r.OutputCycles }
 
-// isParameter reports whether a tensor holds model parameters or the
-// input — the data the CPU initializes.
-func isParameter(name string) bool {
-	return name == "input" || strings.HasSuffix(name, ".w")
-}
+// isParameter aliases the compiler's naming convention for the data the
+// CPU initializes (shared with internal/core and internal/attack).
+func isParameter(name string) bool { return compiler.IsParameter(name) }
 
 // Run executes the full end-to-end flow for one request on one NPU.
 func Run(prog *compiler.Program, scheme memprot.Scheme, cfg npu.Config) (Result, error) {

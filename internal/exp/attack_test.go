@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"tnpu/internal/memprot"
+)
+
+func TestDetectionCampaign(t *testing.T) {
+	r := NewRunner("df")
+	rep, err := r.DetectionCampaign("df", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Model != "df" {
+		t.Errorf("report model = %q, want df", rep.Model)
+	}
+	if err := rep.Matrix(); err != nil {
+		t.Errorf("detection matrix violated:\n%v", err)
+	}
+	st := rep.Stats()
+	for _, s := range []memprot.Scheme{memprot.Baseline, memprot.TreeLess} {
+		if c := st[s].Coverage(); c != 1 {
+			t.Errorf("%s coverage = %v, want 1", s, c)
+		}
+	}
+	if c := st[memprot.Unsecure].Coverage(); c != 0 {
+		t.Errorf("unsecure coverage = %v, want 0", c)
+	}
+
+	// Campaigns are memoized like every other cell.
+	again, err := r.DetectionCampaign("df", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != rep {
+		t.Error("second campaign was recomputed, want cached pointer")
+	}
+	if got := r.Log().TotalByKind("attack"); got == 0 {
+		t.Error("RunLog records no attack time")
+	}
+	if !strings.Contains(r.Log().Summary(), "attack") {
+		t.Errorf("RunLog summary omits attack kind:\n%s", r.Log().Summary())
+	}
+}
+
+func TestDetectionMatrixAllModels(t *testing.T) {
+	r := NewRunner("df", "agz")
+	reps, err := r.DetectionMatrix(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reps))
+	}
+	for i, short := range r.Models {
+		if reps[i].Model != short {
+			t.Errorf("report %d is %q, want %q (model order)", i, reps[i].Model, short)
+		}
+		if err := reps[i].Matrix(); err != nil {
+			t.Errorf("%s: detection matrix violated:\n%v", short, err)
+		}
+	}
+}

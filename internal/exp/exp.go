@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"tnpu/internal/attack"
 	"tnpu/internal/compiler"
 	"tnpu/internal/e2e"
 	"tnpu/internal/memprot"
@@ -72,6 +73,7 @@ type Runner struct {
 	progs      map[progKey]*cell[*compiler.Program]
 	runs       map[runKey]*cell[multinpu.Result]
 	e2es       map[e2eKey]*cell[e2e.Result]
+	attacks    map[attackKey]*cell[*attack.Report]
 	sweepProgs map[sweepProgKey]*cell[*compiler.Program]
 	sweepRuns  map[sweepRunKey]*cell[uint64]
 
@@ -134,6 +136,7 @@ func NewRunner(models ...string) *Runner {
 		progs:      make(map[progKey]*cell[*compiler.Program]),
 		runs:       make(map[runKey]*cell[multinpu.Result]),
 		e2es:       make(map[e2eKey]*cell[e2e.Result]),
+		attacks:    make(map[attackKey]*cell[*attack.Report]),
 		sweepProgs: make(map[sweepProgKey]*cell[*compiler.Program]),
 		sweepRuns:  make(map[sweepRunKey]*cell[uint64]),
 	}

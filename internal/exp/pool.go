@@ -72,9 +72,9 @@ func (r *Runner) forEach(n int, fn func(i int) error) error {
 }
 
 // CellTime records one computed cell: a compile, a multi-NPU simulation,
-// or an end-to-end run.
+// an end-to-end run, or an adversarial detection campaign.
 type CellTime struct {
-	Kind  string // "compile", "simulate", or "e2e"
+	Kind  string // "compile", "simulate", "e2e", or "attack"
 	Label string // e.g. "sent/small/baseline x3"
 	Wall  time.Duration
 }
@@ -120,7 +120,7 @@ func (l *RunLog) Cells() []CellTime {
 }
 
 // TotalByKind returns the summed wall time of one cell kind
-// ("compile", "simulate", "e2e").
+// ("compile", "simulate", "e2e", "attack").
 func (l *RunLog) TotalByKind(kind string) time.Duration {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -150,11 +150,12 @@ func (l *RunLog) Summary() string {
 		total += c.Wall
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "run log: %d cells, %s total work (compile %s, simulate %s, e2e %s)\n",
+	fmt.Fprintf(&b, "run log: %d cells, %s total work (compile %s, simulate %s, e2e %s, attack %s)\n",
 		len(cells), total.Round(time.Millisecond),
 		l.TotalByKind("compile").Round(time.Millisecond),
 		l.TotalByKind("simulate").Round(time.Millisecond),
-		l.TotalByKind("e2e").Round(time.Millisecond))
+		l.TotalByKind("e2e").Round(time.Millisecond),
+		l.TotalByKind("attack").Round(time.Millisecond))
 	b.WriteString("slowest cells:\n")
 	for _, c := range l.Slowest(5) {
 		fmt.Fprintf(&b, "  %-28s %-8s %s\n", c.Label, c.Kind, c.Wall.Round(time.Millisecond))

@@ -12,6 +12,27 @@ import (
 // verification against its parent — a tampered or replayed counter.
 var ErrTreeIntegrity = errors.New("integrity: counter tree verification failed")
 
+// NodeError is the typed verification failure of one tree node. It
+// matches both ErrTreeIntegrity and secmem.ErrIntegrity under errors.Is,
+// so callers that only care about "was tampering detected" can test a
+// single sentinel across both protection schemes.
+type NodeError struct {
+	// Level is the tree level of the failing node (0 = counter lines).
+	Level int
+	// Index is the node index within its level.
+	Index uint64
+}
+
+// Error renders the failure with its node coordinates.
+func (e *NodeError) Error() string {
+	return fmt.Sprintf("%v: node level %d index %d", ErrTreeIntegrity, e.Level, e.Index)
+}
+
+// Is matches the tree sentinel and the generic integrity sentinel.
+func (e *NodeError) Is(target error) bool {
+	return target == ErrTreeIntegrity || target == secmem.ErrIntegrity
+}
+
 // CounterTree is the functional SC-64 counter integrity tree. Level 0
 // holds the per-block encryption counters; each higher level holds split
 // counters versioning the nodes below; the root lives on-chip and is
@@ -75,7 +96,7 @@ func (t *CounterTree) refreshMAC(level int, idx uint64) {
 func (t *CounterTree) verifyNode(level int, idx uint64) error {
 	raw := t.levels[level][idx].Encode()
 	if !t.macEng.Verify(raw[:], t.geo.NodeAddr(level, idx), t.parentCounter(level, idx), t.macs[level][idx]) {
-		return fmt.Errorf("%w: node level %d index %d", ErrTreeIntegrity, level, idx)
+		return &NodeError{Level: level, Index: idx}
 	}
 	return nil
 }

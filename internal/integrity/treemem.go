@@ -106,14 +106,14 @@ func (m *TreeMemory) ReadBlock(addr uint64) ([]byte, error) {
 	blockIdx := addr / dram.BlockBytes
 	ct, ok := m.blocks[addr]
 	if !ok {
-		return nil, fmt.Errorf("%w: no block at %#x", secmem.ErrIntegrity, addr)
+		return nil, &secmem.IntegrityError{Addr: addr, Reason: "missing block"}
 	}
 	counter, err := m.tree.Counter(blockIdx)
 	if err != nil {
 		return nil, err
 	}
 	if !m.macEng.Verify(ct[:], addr, counter, m.macs[addr]) {
-		return nil, fmt.Errorf("%w: block %#x MAC mismatch", secmem.ErrIntegrity, addr)
+		return nil, &secmem.IntegrityError{Addr: addr, Version: counter, Reason: "MAC mismatch"}
 	}
 	return m.ctr.Apply(addr, counter, ct[:]), nil
 }
@@ -160,12 +160,25 @@ func (m *TreeMemory) RestoreBlock(addr uint64, ct [dram.BlockBytes]byte, mac [se
 	m.macs[addr] = mac
 }
 
-// CorruptBlock flips one ciphertext bit.
-func (m *TreeMemory) CorruptBlock(addr uint64, bit uint) {
+// CorruptBlock flips one ciphertext bit. Targeting an absent block
+// returns secmem.ErrAbsentBlock.
+func (m *TreeMemory) CorruptBlock(addr uint64, bit uint) error {
 	ct, ok := m.blocks[addr]
 	if !ok {
-		panic(fmt.Sprintf("integrity: corrupt of absent block %#x", addr))
+		return fmt.Errorf("%w: corrupt of %#x", secmem.ErrAbsentBlock, addr)
 	}
 	ct[bit/8%dram.BlockBytes] ^= 1 << (bit % 8)
 	m.blocks[addr] = ct
+	return nil
+}
+
+// CorruptMAC flips one bit of a data block's stored MAC.
+func (m *TreeMemory) CorruptMAC(addr uint64, bit uint) error {
+	mac, ok := m.macs[addr]
+	if !ok {
+		return fmt.Errorf("%w: corrupt-mac of %#x", secmem.ErrAbsentBlock, addr)
+	}
+	mac[bit/8%secmem.MACBytes] ^= 1 << (bit % 8)
+	m.macs[addr] = mac
+	return nil
 }

@@ -1,0 +1,40 @@
+package secmem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrIntegrity is the sentinel every verification failure matches via
+// errors.Is: the data was tampered with, relocated, or replayed from a
+// stale version.
+var ErrIntegrity = errors.New("secmem: integrity violation (MAC mismatch)")
+
+// IntegrityError is the typed verification failure returned by the
+// protected-memory read paths. It carries the faulting block address and
+// the version the reader expected, so harnesses (and the adversarial
+// campaign in internal/attack) can attribute a detection to a specific
+// injection instead of string-matching error text.
+//
+// errors.Is(err, ErrIntegrity) matches every IntegrityError.
+type IntegrityError struct {
+	// Addr is the 64B-aligned block address that failed verification.
+	Addr uint64
+	// Version is the version number the reader supplied.
+	Version uint64
+	// Reason distinguishes the failure ("missing block", "MAC mismatch").
+	Reason string
+}
+
+// Error renders the failure with its block context.
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("%v: block %#x version %d: %s", ErrIntegrity, e.Addr, e.Version, e.Reason)
+}
+
+// Unwrap ties the typed error to the ErrIntegrity sentinel.
+func (e *IntegrityError) Unwrap() error { return ErrIntegrity }
+
+// ErrAbsentBlock is returned by attacker-surface operations (Corrupt,
+// CorruptMAC, Relocate) aimed at an address holding no block: there is
+// nothing on the bus to capture or flip.
+var ErrAbsentBlock = errors.New("secmem: no block at target address")

@@ -1,13 +1,8 @@
 package secmem
 
 import (
-	"errors"
 	"fmt"
 )
-
-// ErrIntegrity is returned when MAC verification fails on a read: the data
-// was tampered with, relocated, or replayed from a stale version.
-var ErrIntegrity = errors.New("secmem: integrity violation (MAC mismatch)")
 
 // snapshot is one block's externally visible state — what a physical
 // attacker on the DRAM bus can observe and replace.
@@ -71,10 +66,10 @@ func (m *TreelessMemory) ReadBlock(addr, version uint64) ([]byte, error) {
 	checkAligned(addr)
 	s, ok := m.blocks[addr]
 	if !ok {
-		return nil, fmt.Errorf("%w: no block at %#x", ErrIntegrity, addr)
+		return nil, &IntegrityError{Addr: addr, Version: version, Reason: "missing block"}
 	}
 	if !m.mac.Verify(s.ct[:], addr, version, s.mac) {
-		return nil, fmt.Errorf("%w: block %#x, expected version %d", ErrIntegrity, addr, version)
+		return nil, &IntegrityError{Addr: addr, Version: version, Reason: "MAC mismatch"}
 	}
 	return m.xts.Decrypt(addr, s.ct[:]), nil
 }
@@ -128,27 +123,44 @@ func (m *TreelessMemory) Restore(addr uint64, ct [BlockBytes]byte, mac [MACBytes
 }
 
 // Corrupt flips a single bit of a block's stored ciphertext — a tampering
-// attack on DRAM contents.
-func (m *TreelessMemory) Corrupt(addr uint64, bit uint) {
+// attack on DRAM contents. Targeting an absent block returns
+// ErrAbsentBlock.
+func (m *TreelessMemory) Corrupt(addr uint64, bit uint) error {
 	checkAligned(addr)
 	s, ok := m.blocks[addr]
 	if !ok {
-		panic(fmt.Sprintf("secmem: corrupt of absent block %#x", addr))
+		return fmt.Errorf("%w: corrupt of %#x", ErrAbsentBlock, addr)
 	}
 	s.ct[bit/8%BlockBytes] ^= 1 << (bit % 8)
 	m.blocks[addr] = s
+	return nil
+}
+
+// CorruptMAC flips a single bit of a block's stored MAC — tampering with
+// the integrity metadata itself rather than the ciphertext.
+func (m *TreelessMemory) CorruptMAC(addr uint64, bit uint) error {
+	checkAligned(addr)
+	s, ok := m.blocks[addr]
+	if !ok {
+		return fmt.Errorf("%w: corrupt-mac of %#x", ErrAbsentBlock, addr)
+	}
+	s.mac[bit/8%MACBytes] ^= 1 << (bit % 8)
+	m.blocks[addr] = s
+	return nil
 }
 
 // Relocate copies the raw (ciphertext, MAC) of src over dst — a splicing
-// attack moving valid data to a different address.
-func (m *TreelessMemory) Relocate(src, dst uint64) {
+// attack moving valid data to a different address. Relocating an absent
+// block returns ErrAbsentBlock.
+func (m *TreelessMemory) Relocate(src, dst uint64) error {
 	checkAligned(src)
 	checkAligned(dst)
 	s, ok := m.blocks[src]
 	if !ok {
-		panic(fmt.Sprintf("secmem: relocate of absent block %#x", src))
+		return fmt.Errorf("%w: relocate of %#x", ErrAbsentBlock, src)
 	}
 	m.blocks[dst] = s
+	return nil
 }
 
 // Blocks returns the number of resident blocks (for tests).

@@ -126,14 +126,41 @@ func TestUnalignedPanics(t *testing.T) {
 	m.WriteBlock(1, mkBlock(0), 0)
 }
 
-func TestCorruptAbsentPanics(t *testing.T) {
+func TestAttackOnAbsentBlockErrors(t *testing.T) {
 	m := newMem(t)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	m.Corrupt(0x40, 0)
+	if err := m.Corrupt(0x40, 0); !errors.Is(err, ErrAbsentBlock) {
+		t.Fatalf("corrupt of absent block: got %v, want ErrAbsentBlock", err)
+	}
+	if err := m.CorruptMAC(0x40, 0); !errors.Is(err, ErrAbsentBlock) {
+		t.Fatalf("corrupt-mac of absent block: got %v, want ErrAbsentBlock", err)
+	}
+	if err := m.Relocate(0x40, 0x80); !errors.Is(err, ErrAbsentBlock) {
+		t.Fatalf("relocate of absent block: got %v, want ErrAbsentBlock", err)
+	}
+}
+
+func TestMACTamperDetected(t *testing.T) {
+	m := newMem(t)
+	m.WriteBlock(0, mkBlock(1), 1)
+	if err := m.CorruptMAC(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadBlock(0, 1); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("MAC bit flip must be detected, got %v", err)
+	}
+}
+
+func TestIntegrityErrorCarriesContext(t *testing.T) {
+	m := newMem(t)
+	m.WriteBlock(0x1c0, mkBlock(1), 4)
+	_, err := m.ReadBlock(0x1c0, 5)
+	var ie *IntegrityError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want typed *IntegrityError, got %T (%v)", err, err)
+	}
+	if ie.Addr != 0x1c0 || ie.Version != 5 {
+		t.Fatalf("error context addr=%#x version=%d, want 0x1c0/5", ie.Addr, ie.Version)
+	}
 }
 
 // Property: for arbitrary payloads and versions, writes followed by reads

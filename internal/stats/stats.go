@@ -132,6 +132,41 @@ func (s *CacheStats) Merge(other *CacheStats) {
 	s.Prefetches += other.Prefetches
 }
 
+// DetectionStats aggregates the outcome of an adversarial fault-injection
+// campaign against one protection scheme: how many faults were injected,
+// how many surfaced as integrity violations (Detected), how many silently
+// corrupted consumed data (Silent — the unsecure failure mode), and how
+// many had no observable effect because the scheme has no such metadata
+// surface (Inert, e.g. a MAC flip against unprotected memory).
+type DetectionStats struct {
+	Injections uint64
+	Detected   uint64
+	Silent     uint64
+	Inert      uint64
+}
+
+// Coverage returns Detected/Injections, or 0 when nothing was injected.
+func (d *DetectionStats) Coverage() float64 {
+	if d.Injections == 0 {
+		return 0
+	}
+	return float64(d.Detected) / float64(d.Injections)
+}
+
+// Merge adds other's counts into d.
+func (d *DetectionStats) Merge(other *DetectionStats) {
+	d.Injections += other.Injections
+	d.Detected += other.Detected
+	d.Silent += other.Silent
+	d.Inert += other.Inert
+}
+
+// String renders a compact single-line summary.
+func (d *DetectionStats) String() string {
+	return fmt.Sprintf("injected=%d detected=%d silent=%d inert=%d coverage=%s",
+		d.Injections, d.Detected, d.Silent, d.Inert, Pct(d.Coverage()))
+}
+
 // GeoMean returns the geometric mean of xs. It panics on non-positive
 // inputs because normalized execution times are always positive.
 func GeoMean(xs []float64) float64 {

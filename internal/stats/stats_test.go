@@ -193,3 +193,38 @@ func TestTrafficString(t *testing.T) {
 		t.Errorf("Traffic.String() = %q", s)
 	}
 }
+
+func TestDetectionStatsCoverage(t *testing.T) {
+	var d DetectionStats
+	if d.Coverage() != 0 {
+		t.Errorf("empty coverage = %v, want 0", d.Coverage())
+	}
+	d = DetectionStats{Injections: 24, Detected: 24}
+	if d.Coverage() != 1 {
+		t.Errorf("full coverage = %v, want 1", d.Coverage())
+	}
+	d = DetectionStats{Injections: 24, Detected: 12, Silent: 6, Inert: 6}
+	if d.Coverage() != 0.5 {
+		t.Errorf("half coverage = %v, want 0.5", d.Coverage())
+	}
+}
+
+func TestDetectionStatsMerge(t *testing.T) {
+	a := DetectionStats{Injections: 10, Detected: 10}
+	b := DetectionStats{Injections: 6, Detected: 2, Silent: 3, Inert: 1}
+	a.Merge(&b)
+	want := DetectionStats{Injections: 16, Detected: 12, Silent: 3, Inert: 1}
+	if a != want {
+		t.Errorf("merged = %+v, want %+v", a, want)
+	}
+}
+
+func TestDetectionStatsString(t *testing.T) {
+	d := DetectionStats{Injections: 24, Detected: 24}
+	s := d.String()
+	for _, part := range []string{"injected=24", "detected=24", "silent=0", "inert=0", "coverage=100.0%"} {
+		if !strings.Contains(s, part) {
+			t.Errorf("String() = %q, missing %q", s, part)
+		}
+	}
+}

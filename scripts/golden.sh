@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Golden-output regression for tnpu-bench.
+#
+# The evaluation pipeline promises byte-identical output regardless of
+# worker scheduling, so the full text artifacts are directly diffable.
+# Fixtures live in testdata/golden/, one file per pinned invocation.
+#
+# Usage:
+#   scripts/golden.sh check      # diff current output against fixtures (CI)
+#   scripts/golden.sh generate   # regenerate fixtures after an intended change
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-check}"
+golden=testdata/golden
+
+# name|tnpu-bench arguments
+cases=(
+  "bench-df-agz-ncf.txt|-models df,agz,ncf"
+  "attack-df-agz-ncf.txt|-attack"
+  "hwcost.txt|-only hwcost"
+)
+
+bin="$(mktemp -d)/tnpu-bench"
+trap 'rm -rf "$(dirname "$bin")"' EXIT
+go build -o "$bin" ./cmd/tnpu-bench
+
+status=0
+for c in "${cases[@]}"; do
+  name="${c%%|*}"
+  args="${c#*|}"
+  out="$(dirname "$bin")/$name"
+  # shellcheck disable=SC2086  # word splitting of $args is intended
+  "$bin" $args >"$out"
+  case "$mode" in
+    generate)
+      mkdir -p "$golden"
+      cp "$out" "$golden/$name"
+      echo "wrote $golden/$name"
+      ;;
+    check)
+      if ! diff -u "$golden/$name" "$out"; then
+        echo "golden mismatch: $name (tnpu-bench $args)" >&2
+        echo "if the change is intended, run: scripts/golden.sh generate" >&2
+        status=1
+      else
+        echo "ok: $name"
+      fi
+      ;;
+    *)
+      echo "usage: scripts/golden.sh [check|generate]" >&2
+      exit 2
+      ;;
+  esac
+done
+exit $status
