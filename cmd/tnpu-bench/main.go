@@ -12,6 +12,9 @@
 //	tnpu-bench -attack        # adversarial fault-injection campaign
 //	tnpu-bench -parallel 8    # worker count (0 = GOMAXPROCS)
 //	tnpu-bench -v             # per-cell progress + run log on stderr
+//	tnpu-bench -cpuprofile cpu.pprof  # write a CPU profile of the run
+//	tnpu-bench -memprofile mem.pprof  # write an allocation profile at exit
+//	tnpu-bench -perblock      # force the per-block DMA path (profiling aid)
 //
 // The -attack mode mounts replay, splicing, tampering, and version
 // rollback faults against every scheme over real workload traces and
@@ -25,13 +28,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"tnpu"
 	"tnpu/internal/exp"
+	"tnpu/internal/npu"
 )
 
 func main() {
+	// mainRun carries the deferred profile writers; os.Exit must happen
+	// after they run.
+	os.Exit(mainRun())
+}
+
+func mainRun() int {
 	modelsFlag := flag.String("models", "", "comma-separated workload subset (default: all 14)")
 	onlyFlag := flag.String("only", "", "single artifact: table3|fig4|fig5|fig14|fig15|fig16|fig17|storage|hwcost|sweeps")
 	attackFlag := flag.Bool("attack", false, "run the adversarial fault-injection campaign instead of the performance artifacts")
@@ -39,7 +51,41 @@ func main() {
 	mdFlag := flag.String("md", "", "also write a Markdown report to this file")
 	parallelFlag := flag.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = sequential)")
 	verboseFlag := flag.Bool("v", false, "log per-cell progress to stderr and print a run summary at exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation (heap) profile at exit to this file")
+	perBlockFlag := flag.Bool("perblock", false, "force the per-block DMA reference path instead of the batched fast path")
 	flag.Parse()
+
+	if *perBlockFlag {
+		npu.ForcePerBlock(true)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tnpu-bench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tnpu-bench:", err)
+			return 1
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tnpu-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "tnpu-bench:", err)
+			}
+		}()
+	}
 
 	var models []string
 	if *modelsFlag != "" {
@@ -62,7 +108,7 @@ func main() {
 	if *verboseFlag {
 		fmt.Fprint(os.Stderr, r.Log().Summary())
 	}
-	os.Exit(code)
+	return code
 }
 
 // runAttack mounts the fault-injection campaign over every runner model

@@ -130,6 +130,22 @@ func (c *Cache) allocate(tag uint64, write bool) Result {
 	return res
 }
 
+// AccessRun performs count consecutive demand accesses to the line holding
+// addr — equivalent to calling Access(addr, write) count times with no
+// intervening access to this cache. The first access runs the full
+// hit/allocate path; the remaining count-1 are then guaranteed hits on the
+// MRU line, which change no LRU or dirty state and only bump the Lookups
+// counter. The batched protection engines use this to charge a whole
+// metadata line's worth of covered blocks in one call.
+func (c *Cache) AccessRun(addr, count uint64, write bool) Result {
+	if count == 0 {
+		return Result{Hit: true}
+	}
+	res := c.Access(addr, write)
+	c.stats.Lookups += count - 1
+	return res
+}
+
 // Prefetch brings addr's line into the cache speculatively. Unlike Access
 // it leaves the demand counters (Lookups/Misses) untouched, recording the
 // fill under Prefetches instead, so a prefetcher ablation cannot move the

@@ -3,6 +3,8 @@ package cache
 import (
 	"testing"
 	"testing/quick"
+
+	"tnpu/internal/stats"
 )
 
 func TestBasicHitMiss(t *testing.T) {
@@ -277,5 +279,49 @@ func TestPrefetchWritesBackDirtyVictim(t *testing.T) {
 	}
 	if c.Stats().Writebacks != 1 || c.Stats().Evictions != 1 {
 		t.Errorf("eviction accounting off: %+v", *c.Stats())
+	}
+}
+
+// TestAccessRunMatchesRepeatedAccess pins AccessRun's contract: it must be
+// observably identical — result, statistics, LRU order, dirty bits — to
+// calling Access count times back to back.
+func TestAccessRunMatchesRepeatedAccess(t *testing.T) {
+	for _, write := range []bool{false, true} {
+		batched := New("batched", 256, 64, 2)
+		ref := New("ref", 256, 64, 2)
+		// Shared warm-up: a dirty line, a clean line, then thrash one set.
+		for _, c := range []*Cache{batched, ref} {
+			c.Access(0, true)
+			c.Access(256, false)
+			c.Access(512, false)
+		}
+		res := batched.AccessRun(512, 5, write)
+		var want Result
+		for i := 0; i < 5; i++ {
+			want = ref.Access(512, write)
+		}
+		if res != want {
+			t.Errorf("write=%v: AccessRun = %+v, repeated Access = %+v", write, res, want)
+		}
+		if *batched.Stats() != *ref.Stats() {
+			t.Errorf("write=%v: stats diverged: %+v vs %+v", write, *batched.Stats(), *ref.Stats())
+		}
+		// Follow-up eviction pressure must see identical LRU/dirty state.
+		rb := batched.Access(768, false)
+		rr := ref.Access(768, false)
+		if rb != rr {
+			t.Errorf("write=%v: post-run eviction diverged: %+v vs %+v", write, rb, rr)
+		}
+	}
+}
+
+// TestAccessRunZeroCount: a zero-length run is a no-op reporting a hit.
+func TestAccessRunZeroCount(t *testing.T) {
+	c := New("test", 256, 64, 2)
+	if r := c.AccessRun(0, 0, true); !r.Hit || r.Writeback {
+		t.Errorf("zero-count run = %+v, want pure hit", r)
+	}
+	if s := c.Stats(); *s != (stats.CacheStats{}) {
+		t.Errorf("zero-count run touched stats: %+v", *s)
 	}
 }

@@ -65,7 +65,10 @@ func gcd(a, b uint64) uint64 {
 // rational cost.
 type Bus struct {
 	latency uint64
-	chans   []channel
+	// aggNum/aggDen is the aggregate (whole-interface) cycles-per-byte
+	// rational, before the bandwidth is split across channels.
+	aggNum, aggDen uint64
+	chans          []channel
 }
 
 // channel is one independently scheduled slice of the bandwidth.
@@ -78,6 +81,11 @@ type channel struct {
 	// gaps are idle [start,end) windows behind busyUntil, newest last,
 	// bounded to keep Transfer O(1) amortized.
 	gaps []gap
+	// maxGapEnd is an upper bound on the end of every remembered gap
+	// (never below the true maximum, so requests with ready >= maxGapEnd
+	// can skip the gap scan: any such request starts at or after every
+	// gap's end and cannot fit inside one).
+	maxGapEnd uint64
 }
 
 type gap struct{ start, end uint64 }
@@ -98,7 +106,7 @@ func NewBus(cfg Config) *Bus {
 	}
 	num, den := cfg.CyclesPerByte()
 	g := gcd(num*uint64(n), den)
-	b := &Bus{latency: cfg.LatencyCycles, chans: make([]channel, n)}
+	b := &Bus{latency: cfg.LatencyCycles, aggNum: num, aggDen: den, chans: make([]channel, n)}
 	for i := range b.chans {
 		// Each channel serves 1/n of the bandwidth: n x the cycles/byte.
 		b.chans[i] = channel{num: num * uint64(n) / g, den: den / g}
@@ -148,31 +156,36 @@ func (c *channel) transfer(ready, bytes uint64) (done uint64) {
 	c.bytesMoved += bytes
 	c.busyCycles += cycles
 
-	// Try to serve inside an idle gap.
-	for i := range c.gaps {
-		g := &c.gaps[i]
-		start := ready
-		if g.start > start {
-			start = g.start
-		}
-		if start+cycles <= g.end {
-			end := start + cycles
-			switch {
-			case start == g.start && end == g.end:
-				c.gaps = append(c.gaps[:i], c.gaps[i+1:]...)
-			case start == g.start:
-				g.start = end
-			case end == g.end:
-				g.end = start
-			default:
-				// Split: keep the earlier half here, append the later.
-				later := gap{end, g.end}
-				g.end = start
-				if len(c.gaps) < maxGaps {
-					c.gaps = append(c.gaps, later)
-				}
+	// Try to serve inside an idle gap. Skipped outright when ready is past
+	// every gap's end — such a request starts after every gap closes and
+	// cannot fit inside one (a zero-cycle transfer can still land exactly
+	// at a gap's end, hence <=).
+	if ready <= c.maxGapEnd {
+		for i := range c.gaps {
+			g := &c.gaps[i]
+			start := ready
+			if g.start > start {
+				start = g.start
 			}
-			return end
+			if start+cycles <= g.end {
+				end := start + cycles
+				switch {
+				case start == g.start && end == g.end:
+					c.gaps = append(c.gaps[:i], c.gaps[i+1:]...)
+				case start == g.start:
+					g.start = end
+				case end == g.end:
+					g.end = start
+				default:
+					// Split: keep the earlier half here, append the later.
+					later := gap{end, g.end}
+					g.end = start
+					if len(c.gaps) < maxGaps {
+						c.gaps = append(c.gaps, later)
+					}
+				}
+				return end
+			}
 		}
 	}
 
@@ -181,13 +194,22 @@ func (c *channel) transfer(ready, bytes uint64) (done uint64) {
 		start = c.busyUntil
 	} else if start > c.busyUntil {
 		// Record the idle window we are skipping over.
-		if len(c.gaps) == maxGaps {
-			c.gaps = c.gaps[1:]
-		}
-		c.gaps = append(c.gaps, gap{c.busyUntil, start})
+		c.recordGap(c.busyUntil, start)
 	}
 	c.busyUntil = start + cycles
 	return c.busyUntil
+}
+
+// recordGap remembers the idle window [start, end), evicting the oldest
+// entry at capacity and maintaining the gap-end upper bound.
+func (c *channel) recordGap(start, end uint64) {
+	if len(c.gaps) == maxGaps {
+		c.gaps = c.gaps[1:]
+	}
+	c.gaps = append(c.gaps, gap{start, end})
+	if end > c.maxGapEnd {
+		c.maxGapEnd = end
+	}
 }
 
 // Read models a latency-bound read: the bus is occupied as in Transfer and
@@ -238,9 +260,11 @@ func (b *Bus) Utilization() float64 {
 	return float64(b.BusyCycles()) / (float64(now) * float64(len(b.chans)))
 }
 
-// CyclesForBytes returns the pure single-channel bandwidth cost of moving
-// bytes, rounded up, without touching bus state.
+// CyclesForBytes returns the pure aggregate-bandwidth cost of moving
+// bytes, rounded up, without touching bus state. It uses the whole
+// interface's rate: on an n-channel bus each channel serves 1/n of the
+// bandwidth, so quoting channel 0's per-channel rate would overstate the
+// cost by a factor of n.
 func (b *Bus) CyclesForBytes(bytes uint64) uint64 {
-	c := &b.chans[0]
-	return (bytes*c.num + c.den - 1) / c.den
+	return (bytes*b.aggNum + b.aggDen - 1) / b.aggDen
 }

@@ -1,0 +1,358 @@
+package memprot
+
+import (
+	"tnpu/internal/cache"
+	"tnpu/internal/dram"
+	"tnpu/internal/integrity"
+	"tnpu/internal/stats"
+)
+
+// RunEngine is the optional batched fast path of a protection engine:
+// serve nBlocks consecutive data blocks in one call, gated by the caller's
+// DMA issue window, with bus state, cache state, statistics, and returned
+// times identical to pushing the same blocks through ReadBlock/WriteBlock
+// one at a time:
+//
+//	for i := 0; i < nBlocks; i++ {
+//	    busFree, dataAt := e.ReadBlock(ready, addr+uint64(i)*dram.BlockBytes, version)
+//	    maxDataAt = max(maxDataAt, dataAt)
+//	    if gate := w.Note(busFree); gate > ready+1 { ready = gate } else { ready++ }
+//	}
+//
+// The batching exploits the same regularity TNPU's hardware does: a
+// streaming DMA touches each metadata line once and then hits it for every
+// remaining covered block, so only line-boundary blocks need the full
+// model. It is an optional interface so engine wrappers (e.g. the attack
+// harness) transparently keep the per-block path.
+type RunEngine interface {
+	ReadRun(ready, addr, version uint64, nBlocks int, w *dram.IssueWindow) (nextReady, maxDataAt uint64)
+	WriteRun(ready, addr, version uint64, nBlocks int, w *dram.IssueWindow) (nextReady, maxDataAt uint64)
+}
+
+// issueNext applies the DMA issue-window gating one block at a time — the
+// exact update the npu.Machine reference loop performs.
+func issueNext(w *dram.IssueWindow, busFree, ready uint64) uint64 {
+	gate := w.Note(busFree)
+	if gate > ready+1 {
+		return gate
+	}
+	return ready + 1
+}
+
+// runPerBlock is the reference fallback: the per-block engine path under
+// the caller's issue window, used whenever a scheme cannot batch safely.
+func runPerBlock(e Engine, read bool, ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
+	r := ready
+	for i := 0; i < n; i++ {
+		a := addr + uint64(i)*dram.BlockBytes
+		var busFree, dataAt uint64
+		if read {
+			busFree, dataAt = e.ReadBlock(r, a, version)
+		} else {
+			busFree, dataAt = e.WriteBlock(r, a, version)
+		}
+		if dataAt > maxDataAt {
+			maxDataAt = dataAt
+		}
+		r = issueNext(w, busFree, r)
+	}
+	return r, maxDataAt
+}
+
+// macRunLen returns how many consecutive blocks starting at addr share
+// addr's MAC line: with slotBytes of MAC per block, block i's slot lives in
+// line (i*slotBytes)/64, a non-decreasing step function of i. Works for
+// any slot size, including ones that do not divide the line.
+func macRunLen(addr, slotBytes uint64) int {
+	blockIdx := addr / dram.BlockBytes
+	off := blockIdx * slotBytes
+	lineEnd := (off/dram.BlockBytes + 1) * dram.BlockBytes
+	return int((lineEnd - off + slotBytes - 1) / slotBytes)
+}
+
+// macAccessRun is macAccess for count consecutive blocks under one MAC
+// line: the boundary block runs the full hit/miss path; the remaining
+// count-1 per-block accesses would be guaranteed hits on the just-touched
+// line (nothing else touches the MAC cache in between), so they are
+// charged through cache.AccessRun without re-walking the model.
+func macAccessRun(c *cache.Cache, cfg *Config, traffic *stats.Traffic, ready, addr, count uint64, write, writeValidate bool) uint64 {
+	at := macAccess(c, cfg, traffic, ready, addr, write, writeValidate)
+	if count > 1 {
+		c.AccessRun(macLineAddr(addr, cfg.MACSlotBytes), count-1, write)
+	}
+	return at
+}
+
+// counterAccessRun is counterAccess for count consecutive blocks under one
+// counter line. The embedded real access of cache.AccessRun re-promotes
+// the demand line over a next-line prefetch fill, exactly as the first
+// per-block hit after a prefetching miss would.
+func (b *baseline) counterAccessRun(ready, addr, count uint64, write bool) uint64 {
+	at := b.counterAccess(ready, addr, write)
+	if count > 1 {
+		b.counter.AccessRun(b.counterLineAddr(addr), count-1, write)
+	}
+	return at
+}
+
+// batchSafe reports whether the guaranteed-hit reasoning holds for the
+// baseline's counter cache: a next-line prefetch into a single-line cache
+// evicts the demand line itself, breaking the "covered blocks hit" chunk
+// invariant. Every realistic configuration is safe.
+func (b *baseline) batchSafe() bool {
+	return !b.cfg.CounterPrefetch || b.cfg.CounterCacheBytes > dram.BlockBytes
+}
+
+// --- unsecure / encrypt-only: pure bandwidth arithmetic ---
+
+func (u *unsecure) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
+	u.traffic.AddRead(stats.Data, uint64(n)*dram.BlockBytes)
+	next, maxFree, _ := u.cfg.Bus.StreamRun(ready, addr, n, w)
+	return next, maxFree + u.cfg.Bus.Latency()
+}
+
+func (u *unsecure) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
+	u.traffic.AddWrite(stats.Data, uint64(n)*dram.BlockBytes)
+	next, maxFree, _ := u.cfg.Bus.StreamRun(ready, addr, n, w)
+	return next, maxFree
+}
+
+func (e *encryptOnly) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
+	e.traffic.AddRead(stats.Data, uint64(n)*dram.BlockBytes)
+	next, maxFree, _ := e.cfg.Bus.StreamRun(ready, addr, n, w)
+	return next, maxFree + e.cfg.Bus.Latency() + e.cfg.XTSCycles
+}
+
+func (e *encryptOnly) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
+	e.traffic.AddWrite(stats.Data, uint64(n)*dram.BlockBytes)
+	next, maxFree, _ := e.cfg.Bus.StreamRun(ready, addr, n, w)
+	return next, maxFree
+}
+
+// --- tree-less (TNPU): batches at MAC-line granularity ---
+
+func (t *treeless) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
+	r := ready
+	lat := t.cfg.Bus.Latency()
+	for i := 0; i < n; {
+		a := addr + uint64(i)*dram.BlockBytes
+		m := macRunLen(a, t.cfg.MACSlotBytes)
+		if m > n-i {
+			m = n - i
+		}
+		// Line-boundary block: full ReadBlock path, charging the MAC line
+		// for every block it covers in this run.
+		t.traffic.AddRead(stats.Data, dram.BlockBytes)
+		busFree := t.cfg.Bus.TransferAt(r, a, dram.BlockBytes)
+		macAt := macAccessRun(t.mac, &t.cfg, &t.traffic, r, a, uint64(m), false, true)
+		dataAt := max64(busFree+lat+t.cfg.XTSCycles, macAt) + t.cfg.MACCycles
+		if dataAt > maxDataAt {
+			maxDataAt = dataAt
+		}
+		r = issueNext(w, busFree, r)
+		// Covered blocks: the MAC hit resolves at the issue time, which the
+		// data-arrival term always dominates, leaving pure bus arithmetic.
+		if m > 1 {
+			t.traffic.AddRead(stats.Data, uint64(m-1)*dram.BlockBytes)
+			nr, maxFree, _ := t.cfg.Bus.StreamRun(r, a+dram.BlockBytes, m-1, w)
+			r = nr
+			if d := maxFree + lat + t.cfg.XTSCycles + t.cfg.MACCycles; d > maxDataAt {
+				maxDataAt = d
+			}
+		}
+		i += m
+	}
+	return r, maxDataAt
+}
+
+func (t *treeless) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
+	r := ready
+	for i := 0; i < n; {
+		a := addr + uint64(i)*dram.BlockBytes
+		m := macRunLen(a, t.cfg.MACSlotBytes)
+		if m > n-i {
+			m = n - i
+		}
+		macAccessRun(t.mac, &t.cfg, &t.traffic, r, a, uint64(m), true, true)
+		t.traffic.AddWrite(stats.Data, dram.BlockBytes)
+		busFree := t.cfg.Bus.TransferAt(r, a, dram.BlockBytes)
+		if busFree > maxDataAt {
+			maxDataAt = busFree
+		}
+		r = issueNext(w, busFree, r)
+		if m > 1 {
+			t.traffic.AddWrite(stats.Data, uint64(m-1)*dram.BlockBytes)
+			nr, maxFree, _ := t.cfg.Bus.StreamRun(r, a+dram.BlockBytes, m-1, w)
+			r = nr
+			if maxFree > maxDataAt {
+				maxDataAt = maxFree
+			}
+		}
+		i += m
+	}
+	return r, maxDataAt
+}
+
+// --- baseline (tree-based): batches at counter-line granularity, with
+// MAC-line boundaries as sub-events (the two need not nest for ablation
+// arity/slot combinations, so the loop walks boundary events generically).
+
+func (b *baseline) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
+	if !b.batchSafe() {
+		return runPerBlock(b, true, ready, addr, version, n, w)
+	}
+	arity := b.cfg.TreeArity
+	lat := b.cfg.Bus.Latency()
+	r := ready
+	nextCtr, nextMac := 0, 0
+	var ctrCount, macCount uint64
+	for i := 0; i < n; {
+		a := addr + uint64(i)*dram.BlockBytes
+		blockIdx := a / dram.BlockBytes
+		isCtr := i == nextCtr
+		isMac := i == nextMac
+		if isCtr {
+			cm := int(arity - blockIdx%arity)
+			ctrCount = uint64(minInt(cm, n-i))
+			nextCtr = i + cm
+		}
+		if isMac {
+			mm := macRunLen(a, b.cfg.MACSlotBytes)
+			macCount = uint64(minInt(mm, n-i))
+			nextMac = i + mm
+		}
+		chunkEnd := minInt(minInt(nextCtr, nextMac), n)
+		// Boundary block: ReadBlock's operation order (data transfer,
+		// counter access + walk, MAC access), with each line-opening access
+		// charged for every block it covers in this run.
+		b.traffic.AddRead(stats.Data, dram.BlockBytes)
+		busFree := b.cfg.Bus.TransferAt(r, a, dram.BlockBytes)
+		counterAt := r
+		if isCtr {
+			counterAt = b.counterAccessRun(r, a, ctrCount, false)
+		}
+		macAt := r
+		if isMac {
+			macAt = macAccessRun(b.mac, &b.cfg, &b.traffic, r, a, macCount, false, false)
+		}
+		dataAt := max64(busFree+lat, counterAt+b.cfg.OTPCycles)
+		dataAt = max64(dataAt+b.cfg.XORCycles, macAt) + b.cfg.MACCycles
+		if dataAt > maxDataAt {
+			maxDataAt = dataAt
+		}
+		r = issueNext(w, busFree, r)
+		// Covered blocks: counter and MAC hits resolve at the issue time,
+		// which the OTP term strictly dominates, so the per-block max
+		// collapses to bus arrival vs. last-issue OTP.
+		if pure := chunkEnd - (i + 1); pure > 0 {
+			b.traffic.AddRead(stats.Data, uint64(pure)*dram.BlockBytes)
+			nr, maxFree, lastIssue := b.cfg.Bus.StreamRun(r, a+dram.BlockBytes, pure, w)
+			r = nr
+			d := max64(maxFree+lat, lastIssue+b.cfg.OTPCycles) + b.cfg.XORCycles + b.cfg.MACCycles
+			if d > maxDataAt {
+				maxDataAt = d
+			}
+		}
+		i = chunkEnd
+	}
+	return r, maxDataAt
+}
+
+func (b *baseline) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
+	// A minor-counter overflow mid-run emits a re-encryption burst between
+	// two data blocks; runs about to overflow (at most one write-run in 128
+	// to any line) take the reference path so the burst lands exactly where
+	// the per-block model puts it.
+	if !b.batchSafe() || b.overflowPending(addr, n) {
+		return runPerBlock(b, false, ready, addr, version, n, w)
+	}
+	arity := b.cfg.TreeArity
+	r := ready
+	nextCtr, nextMac := 0, 0
+	var ctrCount, macCount uint64
+	var minorLine *[integrity.Arity]uint8
+	for i := 0; i < n; {
+		a := addr + uint64(i)*dram.BlockBytes
+		blockIdx := a / dram.BlockBytes
+		isCtr := i == nextCtr
+		isMac := i == nextMac
+		if isCtr {
+			cm := int(arity - blockIdx%arity)
+			ctrCount = uint64(minInt(cm, n-i))
+			nextCtr = i + cm
+		}
+		if isMac {
+			mm := macRunLen(a, b.cfg.MACSlotBytes)
+			macCount = uint64(minInt(mm, n-i))
+			nextMac = i + mm
+		}
+		chunkEnd := minInt(minInt(nextCtr, nextMac), n)
+		// Boundary block: WriteBlock's operation order (counter RMW, minor
+		// bump, MAC update, data transfer).
+		lineIdx, slot := b.geo.CounterIndex(blockIdx)
+		counterAt := r
+		if isCtr {
+			counterAt = b.counterAccessRun(r, a, ctrCount, true)
+			minorLine = b.minors[lineIdx]
+			if minorLine == nil {
+				minorLine = new([integrity.Arity]uint8)
+				b.minors[lineIdx] = minorLine
+			}
+		}
+		minorLine[slot]++
+		if isMac {
+			macAccessRun(b.mac, &b.cfg, &b.traffic, r, a, macCount, true, false)
+		}
+		b.traffic.AddWrite(stats.Data, dram.BlockBytes)
+		busFree := b.cfg.Bus.TransferAt(r, a, dram.BlockBytes)
+		if d := max64(busFree, counterAt); d > maxDataAt {
+			maxDataAt = d
+		}
+		r = issueNext(w, busFree, r)
+		// Covered blocks: cache hits and overflow-free minor bumps; the
+		// write path completes at each block's bus-clear time.
+		if pure := chunkEnd - (i + 1); pure > 0 {
+			for k := 1; k <= pure; k++ {
+				minorLine[slot+k]++
+			}
+			b.traffic.AddWrite(stats.Data, uint64(pure)*dram.BlockBytes)
+			nr, maxFree, _ := b.cfg.Bus.StreamRun(r, a+dram.BlockBytes, pure, w)
+			r = nr
+			if maxFree > maxDataAt {
+				maxDataAt = maxFree
+			}
+		}
+		i = chunkEnd
+	}
+	return r, maxDataAt
+}
+
+// overflowPending reports whether writing blocks [addr, addr+n*64) would
+// wrap any 7-bit minor counter (pre-increment value 127): each block in a
+// run bumps a distinct slot, so a scan of the covered slots decides it.
+func (b *baseline) overflowPending(addr uint64, n int) bool {
+	blockIdx := addr / dram.BlockBytes
+	for i := 0; i < n; {
+		lineIdx, slot := b.geo.CounterIndex(blockIdx + uint64(i))
+		span := int(b.cfg.TreeArity) - slot
+		if span > n-i {
+			span = n - i
+		}
+		if line := b.minors[lineIdx]; line != nil {
+			for s := slot; s < slot+span; s++ {
+				if line[s] == 1<<7-1 {
+					return true
+				}
+			}
+		}
+		i += span
+	}
+	return false
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,88 @@
+package memprot
+
+import (
+	"fmt"
+	"testing"
+
+	"tnpu/internal/dram"
+)
+
+// BenchmarkReadBlock measures the per-block engine path: a dense sequential
+// read stream pushed through ReadBlock one block at a time, per scheme.
+func BenchmarkReadBlock(b *testing.B) {
+	const blocks = 4096
+	for _, scheme := range AllSchemes() {
+		b.Run(scheme.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e, err := New(scheme, DefaultConfig(smallBus()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				w := dram.NewIssueWindow(16)
+				r := uint64(0)
+				for blk := uint64(0); blk < blocks; blk++ {
+					busFree, _ := e.ReadBlock(r, blk*dram.BlockBytes, 1)
+					if gate := w.Note(busFree); gate > r+1 {
+						r = gate
+					} else {
+						r++
+					}
+				}
+			}
+			b.SetBytes(blocks * dram.BlockBytes)
+		})
+	}
+}
+
+// BenchmarkReadRun measures the same dense stream through the batched
+// ReadRun path; the ratio to BenchmarkReadBlock is the engine-layer speedup
+// of the run-length fast path.
+func BenchmarkReadRun(b *testing.B) {
+	const blocks = 4096
+	for _, scheme := range AllSchemes() {
+		b.Run(scheme.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e, err := New(scheme, DefaultConfig(smallBus()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				re, ok := e.(RunEngine)
+				if !ok {
+					b.Fatalf("%v engine does not implement RunEngine", scheme)
+				}
+				w := dram.NewIssueWindow(16)
+				re.ReadRun(0, 0, 1, blocks, w)
+			}
+			b.SetBytes(blocks * dram.BlockBytes)
+		})
+	}
+}
+
+// BenchmarkWriteRun is ReadRun's write-side counterpart (exercises the
+// counter RMW and minor-bump batching in the baseline).
+func BenchmarkWriteRun(b *testing.B) {
+	const blocks = 4096
+	for _, scheme := range AllSchemes() {
+		for _, batched := range []bool{false, true} {
+			path := "perblock"
+			if batched {
+				path = "batched"
+			}
+			b.Run(fmt.Sprintf("%s/%s", scheme, path), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					e, err := New(scheme, DefaultConfig(smallBus()))
+					if err != nil {
+						b.Fatal(err)
+					}
+					w := dram.NewIssueWindow(16)
+					if batched {
+						e.(RunEngine).WriteRun(0, 0, 1, blocks, w)
+					} else {
+						runPerBlock(e, false, 0, 0, 1, blocks, w)
+					}
+				}
+				b.SetBytes(blocks * dram.BlockBytes)
+			})
+		}
+	}
+}

@@ -8,6 +8,7 @@ package npu
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"tnpu/internal/cache"
 	"tnpu/internal/compiler"
@@ -99,12 +100,17 @@ type Machine struct {
 	issueAt   uint64
 	maxDataAt uint64
 
-	// inflight is the DMA engine's outstanding-request window: block i
-	// may issue once block i-dmaOutstanding has cleared its channel, so
+	// window is the DMA engine's outstanding-request window: block i may
+	// issue once block i-dmaOutstanding has cleared its channel, so
 	// transfers pipeline across memory channels without modelling an
-	// unbounded request queue.
-	inflight [dmaOutstanding]uint64
-	inflIdx  int
+	// unbounded request queue. Shared by the per-block and batched paths
+	// so both see identical issue gating.
+	window *dram.IssueWindow
+
+	// runEng is non-nil when the engine supports the batched fast path;
+	// batched selects it (the default when available).
+	runEng  memprot.RunEngine
+	batched bool
 
 	// iotlb, when non-nil, models the per-instruction IOMMU translation.
 	iotlb      *cache.Cache
@@ -133,15 +139,36 @@ func NewMachine(prog *compiler.Program, eng memprot.Engine) *Machine {
 // NPU its own region so shared metadata caches see true (conflicting)
 // working sets rather than accidentally shared lines.
 func NewMachineAt(prog *compiler.Program, eng memprot.Engine, dataOffset, slotOffset uint64) *Machine {
-	return &Machine{
+	m := &Machine{
 		prog:       prog,
 		eng:        eng,
 		done:       make([]uint64, len(prog.Trace.Instrs)),
 		active:     -1,
 		dataOffset: dataOffset,
 		slotOffset: slotOffset,
+		window:     dram.NewIssueWindow(dmaOutstanding),
 	}
+	m.runEng, _ = eng.(memprot.RunEngine)
+	m.batched = m.runEng != nil && !forcePerBlock.Load()
+	return m
 }
+
+// forcePerBlock disables the batched fast path for every subsequently
+// constructed machine; tnpu-bench -perblock uses it for A/B timing.
+var forcePerBlock atomic.Bool
+
+// ForcePerBlock globally selects the per-block reference path for machines
+// constructed after the call.
+func ForcePerBlock(on bool) { forcePerBlock.Store(on) }
+
+// SetBatched selects this machine's execution path (no-op force-off when
+// the engine lacks the batched interface). Both paths are cycle- and
+// stats-identical; per-block exists as the differential reference and for
+// block-granular multi-NPU interleave.
+func (m *Machine) SetBatched(on bool) { m.batched = on && m.runEng != nil }
+
+// Batched reports whether the machine will serve runs via the fast path.
+func (m *Machine) Batched() bool { return m.batched }
 
 func (m *Machine) depsDone(in *isa.Instr) uint64 {
 	var t uint64
@@ -231,9 +258,7 @@ func (m *Machine) startDMA(idx int, in *isa.Instr) {
 // noteIssue records a block's channel-clear time and returns when the DMA
 // may issue its next request (the slot of the request dmaOutstanding ago).
 func (m *Machine) noteIssue(busFree uint64) uint64 {
-	m.inflight[m.inflIdx] = busFree
-	m.inflIdx = (m.inflIdx + 1) % dmaOutstanding
-	return m.inflight[m.inflIdx]
+	return m.window.Note(busFree)
 }
 
 // loadSegment positions the block cursor at the current segment.
@@ -280,13 +305,51 @@ func (m *Machine) ServeBlock() {
 	m.active = -1
 }
 
+// ServeRun serves every remaining block of the active DMA instruction —
+// whole runs per segment, bounded inside the engine by metadata-line
+// boundaries and the issue window — and retires it. Callers must have
+// obtained a ready time from NextReady first. When the engine lacks the
+// batched interface (or SetBatched(false)), it steps the per-block
+// reference path to the same end state.
+func (m *Machine) ServeRun() {
+	if !m.batched {
+		for m.active >= 0 {
+			m.ServeBlock()
+		}
+		return
+	}
+	in := &m.prog.Trace.Instrs[m.active]
+	for {
+		n := int((m.segEnd - m.blockAddr + dram.BlockBytes - 1) / dram.BlockBytes)
+		var next, dataAt uint64
+		if in.Op == isa.OpMvIn {
+			next, dataAt = m.runEng.ReadRun(m.issueAt, m.blockAddr+m.dataOffset, in.Version, n, m.window)
+		} else {
+			next, dataAt = m.runEng.WriteRun(m.issueAt, m.blockAddr+m.dataOffset, in.Version, n, m.window)
+		}
+		m.blocksMoved += uint64(n)
+		m.issueAt = next
+		if dataAt > m.maxDataAt {
+			m.maxDataAt = dataAt
+		}
+		m.segIdx++
+		if m.segIdx >= len(in.Segments) {
+			break
+		}
+		m.loadSegment()
+	}
+	m.retire(m.active, m.maxDataAt)
+	m.dmaFree = m.issueAt
+	m.active = -1
+}
+
 // Run drives the machine to completion (single-NPU operation).
 func (m *Machine) Run() {
 	for {
 		if _, ok := m.NextReady(); !ok {
 			return
 		}
-		m.ServeBlock()
+		m.ServeRun()
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"hash"
 )
 
 // BlockBytes is the protected memory block size.
@@ -167,15 +168,23 @@ func (e *XTSEngine) apply(addr uint64, data []byte, encrypt bool) []byte {
 // number), exactly the three inputs of Fig. 12. A mismatch on verify means
 // at least one of the three was forged: tampered data, relocated block, or
 // replayed (stale-version) data.
+//
+// The engine holds one resettable HMAC state, so a MAC costs two SHA-256
+// block compressions instead of re-deriving the keyed inner/outer pads from
+// scratch per call. A MACEngine is therefore NOT safe for concurrent use;
+// callers that MAC from multiple goroutines (e.g. the attack campaign
+// runner) must create one engine per goroutine.
 type MACEngine struct {
 	key []byte
+	h   hash.Hash // resettable HMAC-SHA256 state keyed on key
+	sum [sha256.Size]byte
 }
 
 // NewMACEngine creates a MAC engine; the key is copied.
 func NewMACEngine(key []byte) *MACEngine {
 	k := make([]byte, len(key))
 	copy(k, key)
-	return &MACEngine{key: k}
+	return &MACEngine{key: k, h: hmac.New(sha256.New, k)}
 }
 
 // MAC returns the 8-byte MAC for a 64-byte block.
@@ -183,14 +192,14 @@ func (m *MACEngine) MAC(data []byte, addr, version uint64) [MACBytes]byte {
 	if len(data) != BlockBytes {
 		panic(fmt.Sprintf("secmem: MAC block must be %dB, got %d", BlockBytes, len(data)))
 	}
-	h := hmac.New(sha256.New, m.key)
-	h.Write(data)
+	m.h.Reset()
+	m.h.Write(data)
 	var meta [16]byte
 	binary.LittleEndian.PutUint64(meta[0:8], addr)
 	binary.LittleEndian.PutUint64(meta[8:16], version)
-	h.Write(meta[:])
+	m.h.Write(meta[:])
 	var out [MACBytes]byte
-	copy(out[:], h.Sum(nil))
+	copy(out[:], m.h.Sum(m.sum[:0]))
 	return out
 }
 

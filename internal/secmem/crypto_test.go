@@ -213,3 +213,37 @@ func TestMACProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestMACStateReuse pins the reused-HMAC-state optimisation: an engine that
+// has already produced MACs (interleaved with Verify and HashNode calls)
+// returns byte-identical MACs to a freshly constructed engine for the same
+// inputs, and calls are insensitive to their ordering.
+func TestMACStateReuse(t *testing.T) {
+	reused := NewMACEngine(testKey32)
+	inputs := []struct {
+		seed    byte
+		addr, v uint64
+	}{
+		{1, 0x0, 0}, {2, 0x40, 7}, {3, 0x1000, 1 << 40}, {1, 0x0, 0},
+		{9, 0xdeadbe00, ^uint64(0) - 1}, {2, 0x40, 7},
+	}
+	var first [][MACBytes]byte
+	for _, in := range inputs {
+		blk := mkBlock(in.seed)
+		mac := reused.MAC(blk, in.addr, in.v)
+		first = append(first, mac)
+		if !reused.Verify(blk, in.addr, in.v, mac) {
+			t.Fatalf("reused engine rejects its own MAC for seed %d", in.seed)
+		}
+		reused.HashNode(blk, in.addr) // interleave the other entry point
+	}
+	for i, in := range inputs {
+		fresh := NewMACEngine(testKey32)
+		if got := fresh.MAC(mkBlock(in.seed), in.addr, in.v); got != first[i] {
+			t.Errorf("input %d: fresh engine MAC %x != reused engine MAC %x", i, got, first[i])
+		}
+		if got := reused.MAC(mkBlock(in.seed), in.addr, in.v); got != first[i] {
+			t.Errorf("input %d: re-MAC on reused engine %x != first pass %x", i, got, first[i])
+		}
+	}
+}

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# bench.sh — measure the run-length batched DMA fast path against the
+# retained per-block reference and emit BENCH_PR3.json.
+#
+# Both execution paths live in the same binary (the per-block model is the
+# semantic reference the batched path is pinned to), so before/after is a
+# single build: "before" = -perblock / the perblock sub-benchmarks,
+# "after" = the default batched path.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR3.json}"
+# The engine microbenchmarks run in ~100us/op, so they need many
+# iterations to settle; one full machine run takes tens of ms.
+MICRO_BENCHTIME="${MICRO_BENCHTIME:-200x}"
+BENCHTIME="${BENCHTIME:-5x}"
+
+echo "engine microbenchmarks (ReadBlock vs ReadRun, 4096-block dense stream)..." >&2
+MICRO=$(go test ./internal/memprot -run '^$' -bench 'BenchmarkReadBlock|BenchmarkReadRun' -benchtime "$MICRO_BENCHTIME" -count=1 | grep '^Benchmark')
+
+echo "machine benchmarks (full npu.Run on res, per scheme x path)..." >&2
+MACHINE=$(go test ./internal/npu -run '^$' -bench 'BenchmarkMachineRun' -benchtime "$BENCHTIME" -count=1 | grep '^Benchmark')
+
+echo "full regeneration wall time (tnpu-bench -parallel 1, df/res subset)..." >&2
+go build -o /tmp/tnpu-bench-pr3 ./cmd/tnpu-bench
+t0=$(date +%s.%N)
+/tmp/tnpu-bench-pr3 -parallel 1 -models df,res >/dev/null
+t1=$(date +%s.%N)
+BATCHED_S=$(echo "$t1 $t0" | awk '{printf "%.2f", $1-$2}')
+t0=$(date +%s.%N)
+/tmp/tnpu-bench-pr3 -parallel 1 -perblock -models df,res >/dev/null
+t1=$(date +%s.%N)
+PERBLOCK_S=$(echo "$t1 $t0" | awk '{printf "%.2f", $1-$2}')
+
+{
+	echo "{"
+	echo '  "description": "Run-length batched DMA fast path vs per-block reference (same binary, cycle-identical results). ns/op from go test -bench; wall seconds from tnpu-bench -parallel 1 -models df,res.",'
+	echo '  "benchtime": {"micro": "'"$MICRO_BENCHTIME"'", "machine": "'"$BENCHTIME"'"},'
+
+	echo '  "engine_micro_ns_per_op": {'
+	echo "$MICRO" | awk '
+		{
+			split($1, p, "/"); sub(/-[0-9]+$/, "", p[2])
+			key = (index(p[1], "ReadRun") ? "readrun" : "readblock")
+			ns[p[2] "." key] = $3
+			if (!(p[2] in seen)) { seen[p[2]] = 1; order[++n] = p[2] }
+		}
+		END {
+			for (i = 1; i <= n; i++) {
+				s = order[i]
+				rb = ns[s ".readblock"]; rr = ns[s ".readrun"]
+				printf "    \"%s\": {\"perblock\": %s, \"batched\": %s, \"speedup\": %.2f}%s\n",
+					s, rb, rr, rb / rr, (i < n ? "," : "")
+			}
+		}'
+	echo '  },'
+
+	echo '  "machine_run_ns_per_op": {'
+	echo "$MACHINE" | awk '
+		{
+			split($1, p, "/"); sub(/-[0-9]+$/, "", p[5])
+			key = p[2] "/" p[3] "/" p[4]
+			ns[key "." p[5]] = $3
+			if (!(key in seen)) { seen[key] = 1; order[++n] = key }
+		}
+		END {
+			for (i = 1; i <= n; i++) {
+				c = order[i]
+				pb = ns[c ".perblock"]; bt = ns[c ".batched"]
+				printf "    \"%s\": {\"perblock\": %s, \"batched\": %s, \"speedup\": %.2f}%s\n",
+					c, pb, bt, pb / bt, (i < n ? "," : "")
+			}
+		}'
+	echo '  },'
+
+	echo '  "full_regeneration_wall_s": {'
+	echo '    "perblock": '"$PERBLOCK_S"','
+	echo '    "batched": '"$BATCHED_S"','
+	echo '    "speedup": '"$(echo "$PERBLOCK_S $BATCHED_S" | awk '{printf "%.2f", $1/$2}')"
+	echo '  }'
+	echo "}"
+} >"$OUT"
+
+echo "wrote $OUT" >&2
