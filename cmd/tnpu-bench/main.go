@@ -8,6 +8,7 @@
 //
 //	tnpu-bench                # everything
 //	tnpu-bench -models df,res # restrict the workload set
+//	tnpu-bench -schemes baseline,tnpu # restrict the scheme set
 //	tnpu-bench -only fig14    # one artifact
 //	tnpu-bench -attack        # adversarial fault-injection campaign
 //	tnpu-bench -parallel 8    # worker count (0 = GOMAXPROCS)
@@ -45,6 +46,7 @@ func main() {
 
 func mainRun() int {
 	modelsFlag := flag.String("models", "", "comma-separated workload subset (default: all 14)")
+	schemesFlag := flag.String("schemes", "", "comma-separated scheme subset for the performance artifacts (unsecure,baseline,tnpu,encrypt-only; default: all)")
 	onlyFlag := flag.String("only", "", "single artifact: table3|fig4|fig5|fig14|fig15|fig16|fig17|storage|hwcost|sweeps")
 	attackFlag := flag.Bool("attack", false, "run the adversarial fault-injection campaign instead of the performance artifacts")
 	jsonFlag := flag.Bool("json", false, "emit the whole evaluation as JSON (for plotting scripts)")
@@ -94,6 +96,14 @@ func mainRun() int {
 		models = []string{"df", "agz", "ncf"}
 	}
 	r := tnpu.NewPaperRunner(models...)
+	if *schemesFlag != "" {
+		schemes, err := exp.ParseSchemes(*schemesFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tnpu-bench:", err)
+			return 2
+		}
+		r.Schemes = schemes
+	}
 	r.Workers = *parallelFlag
 	if *verboseFlag {
 		r.Progress = os.Stderr
@@ -192,6 +202,11 @@ func run(r *exp.Runner, only string, asJSON bool, mdPath string) int {
 			return nil
 		}},
 		{"sweeps", func() error {
+			// The sweeps plot the baseline-vs-TNPU gap, so they need
+			// both schemes; -schemes filters them out otherwise.
+			if !r.ImprovementAvailable() {
+				return nil
+			}
 			for _, gen := range []func(string) (exp.Sweep, error){r.BandwidthSweep, r.SPMSweep, r.LatencySweep} {
 				sw, err := gen("sent")
 				if err != nil {
@@ -228,8 +243,9 @@ func run(r *exp.Runner, only string, asJSON bool, mdPath string) int {
 		return 2
 	}
 
-	if only == "" {
-		// Headline summary (the numbers the paper's abstract quotes).
+	if only == "" && r.ImprovementAvailable() {
+		// Headline summary (the numbers the paper's abstract quotes);
+		// needs both compared schemes, so -schemes filters it out.
 		for _, class := range exp.Classes() {
 			i1, err := r.Improvement(class, 1)
 			if err != nil {
@@ -293,13 +309,15 @@ func emitJSON(r *exp.Runner) error {
 	doc.VersionStorage = per
 	hw := r.HardwareCost()
 	doc.Hardware.AreaMM2, doc.Hardware.PowerMW, doc.Hardware.SoCFraction = hw.AreaMM2, hw.PowerMW, hw.SoCFraction
-	for _, class := range exp.Classes() {
-		for _, n := range []int{1, 3} {
-			imp, err := r.Improvement(class, n)
-			if err != nil {
-				return err
+	if r.ImprovementAvailable() {
+		for _, class := range exp.Classes() {
+			for _, n := range []int{1, 3} {
+				imp, err := r.Improvement(class, n)
+				if err != nil {
+					return err
+				}
+				doc.Improvements[fmt.Sprintf("%s-%dnpu", class, n)] = imp
 			}
-			doc.Improvements[fmt.Sprintf("%s-%dnpu", class, n)] = imp
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -331,18 +349,20 @@ func emitMarkdown(r *exp.Runner, path string) error {
 		fmt.Fprintf(&b, "- %s: %dB\n", short, per[short])
 	}
 	fmt.Fprintf(&b, "\n## Sec V-E hardware\n\n%s\n\n", r.HardwareCost().String())
-	b.WriteString("## Headline\n\n")
-	for _, class := range exp.Classes() {
-		i1, err := r.Improvement(class, 1)
-		if err != nil {
-			return err
+	if r.ImprovementAvailable() {
+		b.WriteString("## Headline\n\n")
+		for _, class := range exp.Classes() {
+			i1, err := r.Improvement(class, 1)
+			if err != nil {
+				return err
+			}
+			i3, err := r.Improvement(class, 3)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(&b, "- %s NPU: TNPU improves the baseline by %.1f%% (1 NPU), %.1f%% (3 NPUs)\n", class, 100*i1, 100*i3)
 		}
-		i3, err := r.Improvement(class, 3)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(&b, "- %s NPU: TNPU improves the baseline by %.1f%% (1 NPU), %.1f%% (3 NPUs)\n", class, 100*i1, 100*i3)
+		b.WriteString("- paper reference: 10.0%/13.3% (small), 7.5%/8.7% (large)\n")
 	}
-	b.WriteString("- paper reference: 10.0%/13.3% (small), 7.5%/8.7% (large)\n")
 	return os.WriteFile(path, []byte(b.String()), 0o644)
 }

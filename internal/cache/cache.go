@@ -18,9 +18,22 @@ type Cache struct {
 	sets      int
 	ways      int
 	lineShift uint
+	// setMask replaces the modulo in set selection when the set count is a
+	// power of two (every realistic geometry); maskOK gates it so odd set
+	// counts still work.
+	setMask uint64
+	maskOK  bool
 	// lines[set][way]; way order is LRU order: index 0 is most recent.
 	lines [][]line
 	stats stats.CacheStats
+}
+
+// setIndex maps a line tag to its set.
+func (c *Cache) setIndex(tag uint64) uint64 {
+	if c.maskOK {
+		return tag & c.setMask
+	}
+	return tag % uint64(c.sets)
 }
 
 type line struct {
@@ -69,6 +82,8 @@ func New(name string, sizeBytes, lineBytes, ways int) *Cache {
 		sets:      sets,
 		ways:      ways,
 		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		maskOK:    sets&(sets-1) == 0,
 		lines:     make([][]line, sets),
 	}
 	for i := range c.lines {
@@ -88,7 +103,7 @@ func (c *Cache) SizeBytes() int { return c.sets * c.ways * int(c.lineBytes) }
 // access hit and whether a dirty victim must be written back.
 func (c *Cache) Access(addr uint64, write bool) Result {
 	tag := addr >> c.lineShift
-	set := c.lines[tag%uint64(c.sets)]
+	set := c.lines[c.setIndex(tag)]
 	c.stats.Lookups++
 
 	for i := range set {
@@ -111,7 +126,7 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 // allocate installs tag's line at the MRU position, evicting the LRU way
 // when the set is full and reporting a dirty victim for writeback.
 func (c *Cache) allocate(tag uint64, write bool) Result {
-	set := c.lines[tag%uint64(c.sets)]
+	set := c.lines[c.setIndex(tag)]
 	res := Result{}
 	if len(set) == c.ways {
 		victim := set[len(set)-1]
@@ -126,7 +141,7 @@ func (c *Cache) allocate(tag uint64, write bool) Result {
 	set = append(set, line{})
 	copy(set[1:], set[:len(set)-1])
 	set[0] = line{valid: true, dirty: write, tag: tag}
-	c.lines[tag%uint64(c.sets)] = set
+	c.lines[c.setIndex(tag)] = set
 	return res
 }
 
@@ -146,6 +161,70 @@ func (c *Cache) AccessRun(addr, count uint64, write bool) Result {
 	return res
 }
 
+// AccessStreak resolves n consecutive line accesses in one walk: the
+// outcome of Access(addr + i*LineBytes, write) for i in [0, n) is appended
+// to out, in order, with exactly the state transitions and statistics the
+// n individual calls would produce (demand counters are applied in bulk).
+// The batched protection engines use it to classify a whole metadata-line
+// streak up front and then replay the charges in closed form. out is
+// returned to allow an allocation-free caller-owned buffer.
+func (c *Cache) AccessStreak(addr uint64, n int, write bool, out []Result) []Result {
+	var misses uint64
+	for i := 0; i < n; i++ {
+		tag := (addr + uint64(i)*c.lineBytes) >> c.lineShift
+		set := c.lines[c.setIndex(tag)]
+		hit := false
+		for j := range set {
+			if set[j].valid && set[j].tag == tag {
+				h := set[j]
+				if write {
+					h.dirty = true
+				}
+				copy(set[1:j+1], set[:j])
+				set[0] = h
+				out = append(out, Result{Hit: true})
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			misses++
+			out = append(out, c.allocate(tag, write))
+		}
+	}
+	c.stats.Lookups += uint64(n)
+	c.stats.Misses += misses
+	return out
+}
+
+// AddRunHits records count guaranteed-hit lookups on a just-accessed MRU
+// line in closed form: such hits change no LRU or dirty state, so only the
+// Lookups counter moves. This is the streak-wide bulk equivalent of the
+// covered-block accounting AccessRun does per line.
+func (c *Cache) AddRunHits(count uint64) { c.stats.Lookups += count }
+
+// PeekVictim reports, without touching cache state or statistics, what an
+// Access(addr, ...) would do right now: whether addr's line is resident,
+// and — if it is not and the set is full — whether the would-be victim is
+// dirty and at what address. The streaked baseline engine uses it to
+// decide before any mutation whether a counter miss stays inside the
+// closed-form charge model.
+func (c *Cache) PeekVictim(addr uint64) (resident, dirtyVictim bool, victimAddr uint64) {
+	tag := addr >> c.lineShift
+	set := c.lines[c.setIndex(tag)]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true, false, 0
+		}
+	}
+	if len(set) == c.ways {
+		if v := set[len(set)-1]; v.dirty {
+			return false, true, v.tag << c.lineShift
+		}
+	}
+	return false, false, 0
+}
+
 // Prefetch brings addr's line into the cache speculatively. Unlike Access
 // it leaves the demand counters (Lookups/Misses) untouched, recording the
 // fill under Prefetches instead, so a prefetcher ablation cannot move the
@@ -154,7 +233,7 @@ func (c *Cache) AccessRun(addr, count uint64, write bool) Result {
 // for writeback exactly as in Access.
 func (c *Cache) Prefetch(addr uint64) Result {
 	tag := addr >> c.lineShift
-	for _, l := range c.lines[tag%uint64(c.sets)] {
+	for _, l := range c.lines[c.setIndex(tag)] {
 		if l.valid && l.tag == tag {
 			return Result{Hit: true}
 		}
@@ -167,7 +246,7 @@ func (c *Cache) Prefetch(addr uint64) Result {
 // or statistics.
 func (c *Cache) Probe(addr uint64) bool {
 	tag := addr >> c.lineShift
-	for _, l := range c.lines[tag%uint64(c.sets)] {
+	for _, l := range c.lines[c.setIndex(tag)] {
 		if l.valid && l.tag == tag {
 			return true
 		}
@@ -180,11 +259,11 @@ func (c *Cache) Probe(addr uint64) bool {
 // (the line's address is the caller's addr rounded down to LineBytes).
 func (c *Cache) Invalidate(addr uint64) (dirty bool) {
 	tag := addr >> c.lineShift
-	set := c.lines[tag%uint64(c.sets)]
+	set := c.lines[c.setIndex(tag)]
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			dirty = set[i].dirty
-			c.lines[tag%uint64(c.sets)] = append(set[:i], set[i+1:]...)
+			c.lines[c.setIndex(tag)] = append(set[:i], set[i+1:]...)
 			return dirty
 		}
 	}

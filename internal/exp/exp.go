@@ -8,6 +8,7 @@ package exp
 import (
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"time"
 
@@ -59,6 +60,13 @@ type Runner struct {
 	// Models restricts the workload set (defaults to all 14; tests use
 	// subsets).
 	Models []string
+
+	// Schemes restricts which protection schemes the performance
+	// artifacts simulate (nil or empty = all). Unsecure runs that serve
+	// only as the normalization denominator are not filtered; disabling
+	// a measured scheme drops its series (and any headline metric that
+	// needs it) entirely. Must be set before the first figure/sweep call.
+	Schemes []memprot.Scheme
 
 	// Workers bounds how many simulation cells run concurrently.
 	// 0 means runtime.GOMAXPROCS(0); 1 forces sequential evaluation.
@@ -140,6 +148,65 @@ func NewRunner(models ...string) *Runner {
 		sweepProgs: make(map[sweepProgKey]*cell[*compiler.Program]),
 		sweepRuns:  make(map[sweepRunKey]*cell[uint64]),
 	}
+}
+
+// ParseSchemes resolves a comma-separated scheme list ("baseline,tnpu")
+// against the memprot scheme names, for the -schemes CLI filter.
+func ParseSchemes(csv string) ([]memprot.Scheme, error) {
+	var out []memprot.Scheme
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, s := range memprot.AllSchemes() {
+			if s.String() == name {
+				out = append(out, s)
+				found = true
+				break
+			}
+		}
+		if !found {
+			valid := make([]string, 0, len(memprot.AllSchemes()))
+			for _, s := range memprot.AllSchemes() {
+				valid = append(valid, s.String())
+			}
+			return nil, fmt.Errorf("exp: unknown scheme %q (valid: %s)", name, strings.Join(valid, ","))
+		}
+	}
+	return out, nil
+}
+
+// SchemeEnabled reports whether the runner's scheme filter admits s.
+func (r *Runner) SchemeEnabled(s memprot.Scheme) bool {
+	if len(r.Schemes) == 0 {
+		return true
+	}
+	for _, e := range r.Schemes {
+		if e == s {
+			return true
+		}
+	}
+	return false
+}
+
+// schemeSubset filters a generator's natural scheme list down to the
+// enabled set, preserving the generator's order.
+func (r *Runner) schemeSubset(want ...memprot.Scheme) []memprot.Scheme {
+	out := make([]memprot.Scheme, 0, len(want))
+	for _, s := range want {
+		if r.SchemeEnabled(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ImprovementAvailable reports whether the scheme filter admits both
+// schemes the headline Improvement metric compares.
+func (r *Runner) ImprovementAvailable() bool {
+	return r.SchemeEnabled(memprot.Baseline) && r.SchemeEnabled(memprot.TreeLess)
 }
 
 // Log exposes the runner's instrumentation record: per-cell wall times,

@@ -90,13 +90,16 @@ func (r *Runner) AllFigures() ([]Figure, error) {
 func (r *Runner) Figure4() (Figure, error) {
 	f := Figure{ID: "Figure 4", Title: "Tree-based protection overhead (normalized execution time)"}
 	for _, class := range Classes() {
-		s, err := r.seriesOver(class, "baseline", func(short string) (float64, error) {
-			return r.normalized(short, class, memprot.Baseline, 1)
-		})
-		if err != nil {
-			return f, err
+		for _, scheme := range r.schemeSubset(memprot.Baseline) {
+			scheme := scheme
+			s, err := r.seriesOver(class, scheme.String(), func(short string) (float64, error) {
+				return r.normalized(short, class, scheme, 1)
+			})
+			if err != nil {
+				return f, err
+			}
+			f.Series = append(f.Series, s)
 		}
-		f.Series = append(f.Series, s)
 	}
 	return f, nil
 }
@@ -104,6 +107,9 @@ func (r *Runner) Figure4() (Figure, error) {
 // Figure5 reproduces the counter-cache miss-rate figure.
 func (r *Runner) Figure5() (Figure, error) {
 	f := Figure{ID: "Figure 5", Title: "Counter cache miss rates (tree-based baseline)"}
+	if !r.SchemeEnabled(memprot.Baseline) {
+		return f, nil
+	}
 	for _, class := range Classes() {
 		s, err := r.seriesOver(class, "miss-rate", func(short string) (float64, error) {
 			res, err := r.Run(short, class, memprot.Baseline, 1)
@@ -125,7 +131,7 @@ func (r *Runner) Figure5() (Figure, error) {
 func (r *Runner) Figure14() (Figure, error) {
 	f := Figure{ID: "Figure 14", Title: "Execution time normalized to unsecure (1 NPU)"}
 	for _, class := range Classes() {
-		for _, scheme := range []memprot.Scheme{memprot.Baseline, memprot.TreeLess} {
+		for _, scheme := range r.schemeSubset(memprot.Baseline, memprot.TreeLess) {
 			scheme := scheme
 			s, err := r.seriesOver(class, scheme.String(), func(short string) (float64, error) {
 				return r.normalized(short, class, scheme, 1)
@@ -144,7 +150,7 @@ func (r *Runner) Figure14() (Figure, error) {
 func (r *Runner) Figure15() (Figure, error) {
 	f := Figure{ID: "Figure 15", Title: "Memory traffic normalized to unsecure"}
 	for _, class := range Classes() {
-		for _, scheme := range []memprot.Scheme{memprot.Baseline, memprot.TreeLess} {
+		for _, scheme := range r.schemeSubset(memprot.Baseline, memprot.TreeLess) {
 			scheme := scheme
 			s, err := r.seriesOver(class, scheme.String(), func(short string) (float64, error) {
 				u, err := r.Run(short, class, memprot.Unsecure, 1)
@@ -172,7 +178,7 @@ func (r *Runner) Figure16() (Figure, error) {
 	f := Figure{ID: "Figure 16", Title: "Execution time vs NPU count (normalized to same-count unsecure)"}
 	for _, class := range Classes() {
 		for count := 1; count <= 3; count++ {
-			for _, scheme := range []memprot.Scheme{memprot.Baseline, memprot.TreeLess} {
+			for _, scheme := range r.schemeSubset(memprot.Baseline, memprot.TreeLess) {
 				scheme, count := scheme, count
 				s, err := r.seriesOver(class, fmt.Sprintf("%s x%d", scheme, count), func(short string) (float64, error) {
 					return r.normalized(short, class, scheme, count)
@@ -191,7 +197,7 @@ func (r *Runner) Figure16() (Figure, error) {
 func (r *Runner) Figure17() (Figure, error) {
 	f := Figure{ID: "Figure 17", Title: "End-to-end latency normalized to unsecure"}
 	for _, class := range Classes() {
-		for _, scheme := range []memprot.Scheme{memprot.Baseline, memprot.TreeLess} {
+		for _, scheme := range r.schemeSubset(memprot.Baseline, memprot.TreeLess) {
 			scheme := scheme
 			s, err := r.seriesOver(class, scheme.String(), func(short string) (float64, error) {
 				u, err := r.EndToEnd(short, class, memprot.Unsecure)

@@ -34,6 +34,10 @@ type baseline struct {
 	// counters (Yan et al.) — a 64-block read+write burst.
 	minors    map[uint64]*[integrity.Arity]uint8
 	Overflows uint64
+
+	// cur is the streak charge cursor (see streak.go), engine-owned so the
+	// batched hot path allocates nothing.
+	cur dram.RunCursor
 }
 
 func newBaseline(cfg Config) *baseline {

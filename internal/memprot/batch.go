@@ -129,9 +129,18 @@ func (e *encryptOnly) WriteRun(ready, addr, version uint64, n int, w *dram.Issue
 	return next, maxFree
 }
 
-// --- tree-less (TNPU): batches at MAC-line granularity ---
+// --- tree-less (TNPU): batches whole MAC-line streaks ---
+
+// Long runs on a single channel are served as one streak (streak.go):
+// every MAC-line outcome is resolved in one cache walk and the reference
+// charge sequence replays through a RunCursor in closed form. The per-line
+// loop below remains as the fallback for short runs, multi-channel buses,
+// and configurations where the append invariant is unprovable.
 
 func (t *treeless) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
+	if n >= streakMinBlocks && t.cfg.Bus.BeginRun(&t.cur, w, ready, 3*n+16) {
+		return t.readStreak(ready, addr, n, w)
+	}
 	r := ready
 	lat := t.cfg.Bus.Latency()
 	for i := 0; i < n; {
@@ -166,6 +175,9 @@ func (t *treeless) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWind
 }
 
 func (t *treeless) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
+	if n >= streakMinBlocks && t.cfg.Bus.BeginRun(&t.cur, w, ready, 3*n+16) {
+		return t.writeStreak(ready, addr, n, w)
+	}
 	r := ready
 	for i := 0; i < n; {
 		a := addr + uint64(i)*dram.BlockBytes
@@ -196,6 +208,11 @@ func (t *treeless) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWin
 // --- baseline (tree-based): batches at counter-line granularity, with
 // MAC-line boundaries as sub-events (the two need not nest for ablation
 // arity/slot combinations, so the loop walks boundary events generically).
+// Long single-channel runs additionally stream chunk sequences through a
+// RunCursor (streak.go): chunks whose counter access ctrSimple can prove
+// append-safe replay in closed form, and any other chunk drops out of the
+// streak — before touching state — onto the reference body below, rejoining
+// afterwards when enough blocks remain.
 
 func (b *baseline) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
 	if !b.batchSafe() {
@@ -206,6 +223,9 @@ func (b *baseline) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWind
 	r := ready
 	nextCtr, nextMac := 0, 0
 	var ctrCount, macCount uint64
+	cur := &b.cur
+	inStreak := n >= streakMinBlocks && b.cfg.Bus.BeginRun(cur, w, r, 5*n+16)
+	pending := 0 // deferred data blocks awaiting one streak span charge
 	for i := 0; i < n; {
 		a := addr + uint64(i)*dram.BlockBytes
 		blockIdx := a / dram.BlockBytes
@@ -222,6 +242,45 @@ func (b *baseline) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWind
 			nextMac = i + mm
 		}
 		chunkEnd := minInt(minInt(nextCtr, nextMac), n)
+		if inStreak && isCtr && !b.ctrSimple(a, r) {
+			// A counter access the closed form cannot serve (multi-level
+			// walk, busy MSHRs, prefetch fill, or an unsafe eviction
+			// cascade): flush the pending span, commit, and fall back to the
+			// reference path for this chunk — no state was touched yet.
+			if pending > 0 {
+				lastFree, lastIssue, nr := cur.ChargeDataSpan(w, r, pending)
+				r = nr
+				if d := max64(lastFree+lat, lastIssue+b.cfg.OTPCycles) + b.cfg.XORCycles + b.cfg.MACCycles; d > maxDataAt {
+					maxDataAt = d
+				}
+				pending = 0
+			}
+			cur.Commit()
+			inStreak = false
+		}
+		if inStreak {
+			// Streak chunk: ReadBlock's charge order is data first, so the
+			// pending span plus this boundary flush before the metadata.
+			b.traffic.AddRead(stats.Data, uint64(chunkEnd-i)*dram.BlockBytes)
+			lastFree, lastIssue, nr := cur.ChargeDataSpan(w, r, pending+1)
+			r = nr
+			counterAt := lastIssue
+			if isCtr {
+				counterAt = b.ctrStreakAccess(cur, lastIssue, a, ctrCount, false)
+			}
+			macAt := lastIssue
+			if isMac {
+				macAt = b.macStreakAccess(cur, lastIssue, a, macCount, false)
+			}
+			dataAt := max64(lastFree+lat, counterAt+b.cfg.OTPCycles)
+			dataAt = max64(dataAt+b.cfg.XORCycles, macAt) + b.cfg.MACCycles
+			if dataAt > maxDataAt {
+				maxDataAt = dataAt
+			}
+			pending = chunkEnd - (i + 1)
+			i = chunkEnd
+			continue
+		}
 		// Boundary block: ReadBlock's operation order (data transfer,
 		// counter access + walk, MAC access), with each line-opening access
 		// charged for every block it covers in this run.
@@ -254,6 +313,18 @@ func (b *baseline) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWind
 			}
 		}
 		i = chunkEnd
+		// Rejoin the streak for the remaining chunks when possible.
+		inStreak = n-i >= streakMinBlocks && b.cfg.Bus.BeginRun(cur, w, r, 5*(n-i)+16)
+	}
+	if inStreak {
+		if pending > 0 {
+			lastFree, lastIssue, nr := cur.ChargeDataSpan(w, r, pending)
+			r = nr
+			if d := max64(lastFree+lat, lastIssue+b.cfg.OTPCycles) + b.cfg.XORCycles + b.cfg.MACCycles; d > maxDataAt {
+				maxDataAt = d
+			}
+		}
+		cur.Commit()
 	}
 	return r, maxDataAt
 }
@@ -271,6 +342,9 @@ func (b *baseline) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWin
 	nextCtr, nextMac := 0, 0
 	var ctrCount, macCount uint64
 	var minorLine *[integrity.Arity]uint8
+	cur := &b.cur
+	inStreak := n >= streakMinBlocks && b.cfg.Bus.BeginRun(cur, w, r, 5*n+16)
+	pending := 0 // deferred data blocks awaiting one streak span charge
 	for i := 0; i < n; {
 		a := addr + uint64(i)*dram.BlockBytes
 		blockIdx := a / dram.BlockBytes
@@ -287,9 +361,71 @@ func (b *baseline) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWin
 			nextMac = i + mm
 		}
 		chunkEnd := minInt(minInt(nextCtr, nextMac), n)
+		lineIdx, slot := b.geo.CounterIndex(blockIdx)
+		if inStreak && isCtr && !b.ctrSimple(a, r) {
+			// See ReadRun: hand this chunk to the reference path untouched.
+			if pending > 0 {
+				lastFree, _, nr := cur.ChargeDataSpan(w, r, pending)
+				r = nr
+				if lastFree > maxDataAt {
+					maxDataAt = lastFree
+				}
+				pending = 0
+			}
+			cur.Commit()
+			inStreak = false
+		}
+		if inStreak {
+			// WriteBlock charges metadata before data, so a chunk whose
+			// lines are both resident (hence chargeless) folds straight into
+			// the pending span; otherwise the deferred data of earlier
+			// chunks lands first, then the metadata charges, then this
+			// chunk's data joins a fresh span.
+			clean := (!isCtr || b.counter.Probe(b.geo.NodeAddr(0, lineIdx))) &&
+				(!isMac || b.mac.Probe(macLineAddr(a, b.cfg.MACSlotBytes)))
+			if !clean && pending > 0 {
+				lastFree, _, nr := cur.ChargeDataSpan(w, r, pending)
+				r = nr
+				if lastFree > maxDataAt {
+					maxDataAt = lastFree
+				}
+				pending = 0
+			}
+			if isCtr {
+				if clean {
+					b.counter.Access(b.geo.NodeAddr(0, lineIdx), true)
+					b.counter.AddRunHits(ctrCount - 1)
+				} else {
+					// A walk's completion can outlast the run's final bus
+					// clear, so it feeds maxDataAt directly.
+					if counterAt := b.ctrStreakAccess(cur, r, a, ctrCount, true); counterAt > maxDataAt {
+						maxDataAt = counterAt
+					}
+				}
+				minorLine = b.minors[lineIdx]
+				if minorLine == nil {
+					minorLine = new([integrity.Arity]uint8)
+					b.minors[lineIdx] = minorLine
+				}
+			}
+			for k := 0; k < chunkEnd-i; k++ {
+				minorLine[slot+k]++
+			}
+			if isMac {
+				if clean {
+					b.mac.Access(macLineAddr(a, b.cfg.MACSlotBytes), true)
+					b.mac.AddRunHits(macCount - 1)
+				} else {
+					b.macStreakAccess(cur, r, a, macCount, true)
+				}
+			}
+			b.traffic.AddWrite(stats.Data, uint64(chunkEnd-i)*dram.BlockBytes)
+			pending += chunkEnd - i
+			i = chunkEnd
+			continue
+		}
 		// Boundary block: WriteBlock's operation order (counter RMW, minor
 		// bump, MAC update, data transfer).
-		lineIdx, slot := b.geo.CounterIndex(blockIdx)
 		counterAt := r
 		if isCtr {
 			counterAt = b.counterAccessRun(r, a, ctrCount, true)
@@ -323,6 +459,18 @@ func (b *baseline) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWin
 			}
 		}
 		i = chunkEnd
+		// Rejoin the streak for the remaining chunks when possible.
+		inStreak = n-i >= streakMinBlocks && b.cfg.Bus.BeginRun(cur, w, r, 5*(n-i)+16)
+	}
+	if inStreak {
+		if pending > 0 {
+			lastFree, _, nr := cur.ChargeDataSpan(w, r, pending)
+			r = nr
+			if lastFree > maxDataAt {
+				maxDataAt = lastFree
+			}
+		}
+		cur.Commit()
 	}
 	return r, maxDataAt
 }

@@ -58,6 +58,78 @@ func BenchmarkReadRun(b *testing.B) {
 	}
 }
 
+// BenchmarkReadRunHot measures the steady-state batched read path on a
+// reused engine — the configuration the NPU machine loop actually runs,
+// where the streak fast path must not allocate. Run with -benchmem: the
+// pinned expectation (see TestBatchedRunNoAllocs) is 0 allocs/op.
+func BenchmarkReadRunHot(b *testing.B) {
+	const blocks = 4096
+	for _, scheme := range AllSchemes() {
+		b.Run(scheme.String(), func(b *testing.B) {
+			e, err := New(scheme, DefaultConfig(smallBus()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			re := e.(RunEngine)
+			w := dram.NewIssueWindow(16)
+			r, _ := re.ReadRun(0, 0, 1, blocks, w) // warm caches and buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, _ = re.ReadRun(r, 0, 1, blocks, w)
+			}
+			b.SetBytes(blocks * dram.BlockBytes)
+		})
+	}
+}
+
+// BenchmarkWriteRunHot is BenchmarkReadRunHot's write-side counterpart.
+func BenchmarkWriteRunHot(b *testing.B) {
+	const blocks = 4096
+	for _, scheme := range AllSchemes() {
+		b.Run(scheme.String(), func(b *testing.B) {
+			e, err := New(scheme, DefaultConfig(smallBus()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			re := e.(RunEngine)
+			w := dram.NewIssueWindow(16)
+			r, _ := re.WriteRun(0, 0, 1, blocks, w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, _ = re.WriteRun(r, 0, 1, blocks, w)
+			}
+			b.SetBytes(blocks * dram.BlockBytes)
+		})
+	}
+}
+
+// TestBatchedRunNoAllocs pins the zero-allocation property of the batched
+// hot path: after one warmup run (which sizes the engine-owned streak
+// buffers and the minor-counter map), steady-state ReadRun/WriteRun must
+// not allocate for any scheme.
+func TestBatchedRunNoAllocs(t *testing.T) {
+	const blocks = 4096
+	for _, scheme := range AllSchemes() {
+		e, err := New(scheme, DefaultConfig(smallBus()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		re := e.(RunEngine)
+		w := dram.NewIssueWindow(16)
+		var r uint64
+		step := func() {
+			r, _ = re.ReadRun(r, 0, 1, blocks, w)
+			r, _ = re.WriteRun(r, 0, 1, blocks, w)
+		}
+		step() // warmup
+		if avg := testing.AllocsPerRun(20, step); avg != 0 {
+			t.Errorf("%v: batched hot path allocates %.1f times per run, want 0", scheme, avg)
+		}
+	}
+}
+
 // BenchmarkWriteRun is ReadRun's write-side counterpart (exercises the
 // counter RMW and minor-bump batching in the baseline).
 func BenchmarkWriteRun(b *testing.B) {

@@ -37,6 +37,12 @@ type treeless struct {
 	mac     *cache.Cache
 	traffic stats.Traffic
 
+	// Streak scratch state (see streak.go): the run cursor accumulates a
+	// whole run's bus charges, macOut is the reused MAC-line outcome
+	// buffer. Engine-owned so the batched hot path allocates nothing.
+	cur    dram.RunCursor
+	macOut []cache.Result
+
 	// Version-table path: the table is CPU-enclave data, so accesses hit
 	// the CPU cache hierarchy; vcache models that residency (the tables
 	// are KB-scale — Sec. IV-D — so even several contexts' tables stay

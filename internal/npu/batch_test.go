@@ -200,13 +200,14 @@ func (f *fuzzReader) u16() uint64 { return uint64(f.byte())<<8 | uint64(f.byte()
 
 // buildFuzzProgram derives a small but structurally rich synthetic program
 // from fuzz bytes: mixed mvin/mvout/compute instructions, 1–4 segments
-// each with unaligned addresses and sizes, versions, and backward deps.
+// each with unaligned addresses and sizes, versions, backward deps, and a
+// counter-hammer op that rewrites one range until a minor counter wraps.
 func buildFuzzProgram(f *fuzzReader) *compiler.Program {
 	var tr isa.Trace
 	nInstr := 2 + int(f.byte()%10)
 	for i := 0; i < nInstr; i++ {
 		var in isa.Instr
-		switch f.byte() % 4 {
+		switch f.byte() % 8 {
 		case 0, 1:
 			in.Op = isa.OpMvIn
 		case 2:
@@ -214,8 +215,26 @@ func buildFuzzProgram(f *fuzzReader) *compiler.Program {
 		case 3:
 			in.Op = isa.OpCompute
 			in.Cycles = 1 + f.u16()
+		default:
+			// Hammer: one mvout whose segments rewrite the same 48-block
+			// range far past the 7-bit minor-counter limit. The lone
+			// half-range head-start segment puts the tail blocks one bump
+			// ahead, so the first wrap lands mid-run (block 24 of 48), not
+			// on a run boundary — exercising the overflowPending guard and
+			// the re-encryption burst inside the reference fallback.
+			in.Op = isa.OpMvOut
+			in.Tensor = tensor.ID(f.byte() % 8)
+			in.Tile = int(f.byte() % 16)
+			in.Version = uint64(f.byte() % 5)
+			const half = 24 * dram.BlockBytes
+			base := f.u16() * 64
+			in.Segments = append(in.Segments, isa.Segment{Addr: base + half, Bytes: half})
+			rep := 130 + int(f.byte()%40) // always past the 128-write wrap
+			for j := 0; j < rep; j++ {
+				in.Segments = append(in.Segments, isa.Segment{Addr: base, Bytes: 2 * half})
+			}
 		}
-		if in.IsDMA() {
+		if in.IsDMA() && len(in.Segments) == 0 {
 			in.Tensor = tensor.ID(f.byte() % 8)
 			in.Tile = int(f.byte() % 16)
 			in.Version = uint64(f.byte() % 5)
@@ -285,7 +304,7 @@ func FuzzBatchedVsPerBlock(f *testing.F) {
 }
 
 // BenchmarkMachineRun measures a full dense-workload simulation per scheme
-// on both paths; BENCH_PR3.json records the batched/per-block ratio.
+// on both paths; BENCH_PR4.json records the batched/per-block ratio.
 func BenchmarkMachineRun(b *testing.B) {
 	for _, cfg := range []Config{SmallNPU(), LargeNPU()} {
 		m, err := model.ByShort("res")

@@ -306,11 +306,12 @@ func (m *Machine) ServeBlock() {
 }
 
 // ServeRun serves every remaining block of the active DMA instruction —
-// whole runs per segment, bounded inside the engine by metadata-line
-// boundaries and the issue window — and retires it. Callers must have
-// obtained a ready time from NextReady first. When the engine lacks the
-// batched interface (or SetBatched(false)), it steps the per-block
-// reference path to the same end state.
+// whole runs per segment, bounded only by segment ends and the DMA issue
+// window (the engines iterate metadata-line streaks internally) — and
+// retires it. Callers must have obtained a ready time from NextReady
+// first. When the engine lacks the batched interface (or
+// SetBatched(false)), it steps the per-block reference path to the same
+// end state.
 func (m *Machine) ServeRun() {
 	if !m.batched {
 		for m.active >= 0 {

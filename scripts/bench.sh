@@ -1,42 +1,51 @@
 #!/usr/bin/env bash
 # bench.sh — measure the run-length batched DMA fast path against the
-# retained per-block reference and emit BENCH_PR3.json.
+# retained per-block reference and emit BENCH_PR4.json.
 #
 # Both execution paths live in the same binary (the per-block model is the
 # semantic reference the batched path is pinned to), so before/after is a
 # single build: "before" = -perblock / the perblock sub-benchmarks,
 # "after" = the default batched path.
 #
+# After writing the output, the batched machine-run times are compared
+# against the previous checked-in bench file (PREV, default
+# BENCH_PR3.json): any scheme more than 10% slower fails the script, so a
+# streak-layer regression cannot be checked in silently.
+#
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR3.json}"
+OUT="${1:-BENCH_PR4.json}"
+PREV="${PREV:-BENCH_PR3.json}"
 # The engine microbenchmarks run in ~100us/op, so they need many
 # iterations to settle; one full machine run takes tens of ms.
 MICRO_BENCHTIME="${MICRO_BENCHTIME:-200x}"
 BENCHTIME="${BENCHTIME:-5x}"
 
 echo "engine microbenchmarks (ReadBlock vs ReadRun, 4096-block dense stream)..." >&2
-MICRO=$(go test ./internal/memprot -run '^$' -bench 'BenchmarkReadBlock|BenchmarkReadRun' -benchtime "$MICRO_BENCHTIME" -count=1 | grep '^Benchmark')
+# Exact-match the two comparison benchmarks: ReadRunHot/WriteRunHot (the
+# allocation-pinned steady-state variants) share the ReadRun prefix and
+# must not overwrite its numbers.
+MICRO=$(go test ./internal/memprot -run '^$' -bench '^(BenchmarkReadBlock|BenchmarkReadRun)$' -benchtime "$MICRO_BENCHTIME" -count=1 | grep '^Benchmark')
 
 echo "machine benchmarks (full npu.Run on res, per scheme x path)..." >&2
 MACHINE=$(go test ./internal/npu -run '^$' -bench 'BenchmarkMachineRun' -benchtime "$BENCHTIME" -count=1 | grep '^Benchmark')
 
 echo "full regeneration wall time (tnpu-bench -parallel 1, df/res subset)..." >&2
-go build -o /tmp/tnpu-bench-pr3 ./cmd/tnpu-bench
+go build -o /tmp/tnpu-bench-pr4 ./cmd/tnpu-bench
 t0=$(date +%s.%N)
-/tmp/tnpu-bench-pr3 -parallel 1 -models df,res >/dev/null
+/tmp/tnpu-bench-pr4 -parallel 1 -models df,res >/dev/null
 t1=$(date +%s.%N)
 BATCHED_S=$(echo "$t1 $t0" | awk '{printf "%.2f", $1-$2}')
 t0=$(date +%s.%N)
-/tmp/tnpu-bench-pr3 -parallel 1 -perblock -models df,res >/dev/null
+/tmp/tnpu-bench-pr4 -parallel 1 -perblock -models df,res >/dev/null
 t1=$(date +%s.%N)
 PERBLOCK_S=$(echo "$t1 $t0" | awk '{printf "%.2f", $1-$2}')
 
 {
 	echo "{"
-	echo '  "description": "Run-length batched DMA fast path vs per-block reference (same binary, cycle-identical results). ns/op from go test -bench; wall seconds from tnpu-bench -parallel 1 -models df,res.",'
+	echo '  "description": "Run-length batched DMA fast path with metadata-line streaks vs per-block reference (same binary, cycle-identical results). ns/op from go test -bench; wall seconds from tnpu-bench -parallel 1 -models df,res.",'
 	echo '  "benchtime": {"micro": "'"$MICRO_BENCHTIME"'", "machine": "'"$BENCHTIME"'"},'
 
 	echo '  "engine_micro_ns_per_op": {'
@@ -84,3 +93,42 @@ PERBLOCK_S=$(echo "$t1 $t0" | awk '{printf "%.2f", $1-$2}')
 } >"$OUT"
 
 echo "wrote $OUT" >&2
+
+# --- regression gate -------------------------------------------------------
+# Compare the batched machine-run times (ms-scale with -benchtime 5x, so
+# stable enough for a 10% gate; the sub-microsecond engine micro numbers
+# for the trivial schemes are harness-noise-bound and excluded) against the
+# previous checked-in results.
+if [ -f "$PREV" ] && [ "$PREV" != "$OUT" ]; then
+	echo "checking batched machine-run times against $PREV (>10% slower fails)..." >&2
+	extract_batched() {
+		awk '
+			/"machine_run_ns_per_op"/ { inblk = 1; next }
+			inblk && /^  \}/ { inblk = 0 }
+			inblk && /"batched":/ {
+				split($0, q, "\"")
+				v = $0; sub(/.*"batched": /, "", v); sub(/[,}].*/, "", v)
+				print q[2], v
+			}
+		' "$1"
+	}
+	fail=0
+	while read -r key old; do
+		new=$(extract_batched "$OUT" | awk -v k="$key" '$1 == k {print $2}')
+		if [ -z "$new" ]; then
+			echo "  missing in $OUT: $key" >&2
+			fail=1
+			continue
+		fi
+		if echo "$old $new" | awk '{exit !($2 > $1 * 1.10)}'; then
+			echo "  REGRESSION: $key batched $old -> $new ns/op (>10% slower)" >&2
+			fail=1
+		else
+			echo "  ok: $key batched $old -> $new ns/op" >&2
+		fi
+	done < <(extract_batched "$PREV")
+	if [ "$fail" != 0 ]; then
+		echo "batched path regressed vs $PREV" >&2
+		exit 1
+	fi
+fi
