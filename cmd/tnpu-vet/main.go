@@ -1,0 +1,42 @@
+// tnpu-vet is the multichecker for this repository's invariant suite
+// (DESIGN.md §7c): five stdlib-only go/analysis-style passes that
+// mechanically enforce the simulator's correctness contracts —
+// determinism of emitted output (detmap), consumption of verification
+// errors (secerr), the zero-allocation batched hot path (noalloc),
+// per-goroutine engine ownership (goroutinesafe), and cycle/byte unit
+// discipline (cycleunits).
+//
+// Usage:
+//
+//	tnpu-vet [packages]            # standalone, e.g. tnpu-vet ./...
+//	go vet -vettool=$(which tnpu-vet) ./...
+//
+// Both modes exit non-zero on any diagnostic. scripts/lint.sh runs it
+// alongside gofmt/vet/staticcheck, and the CI lint job gates merges on
+// a clean run.
+package main
+
+import (
+	"os"
+
+	"tnpu/internal/analysis"
+	"tnpu/internal/analysis/checker"
+	"tnpu/internal/analysis/cycleunits"
+	"tnpu/internal/analysis/detmap"
+	"tnpu/internal/analysis/goroutinesafe"
+	"tnpu/internal/analysis/noalloc"
+	"tnpu/internal/analysis/secerr"
+)
+
+// Suite is the full analyzer set, in diagnostic-priority order.
+var Suite = []*analysis.Analyzer{
+	detmap.Analyzer,
+	secerr.Analyzer,
+	noalloc.Analyzer,
+	goroutinesafe.Analyzer,
+	cycleunits.Analyzer,
+}
+
+func main() {
+	os.Exit(checker.Main(os.Stdout, os.Stderr, os.Args[1:], Suite))
+}

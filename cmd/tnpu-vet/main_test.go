@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tnpu/internal/analysis/checker"
+)
+
+// TestSuiteCleanOverTree is the merge gate behind the CI tnpu-vet job:
+// the full analyzer suite must run without a single diagnostic over the
+// entire module, tests included. A failure here means either a real
+// invariant violation crept in or a new check needs its waiver.
+func TestSuiteCleanOverTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	var stdout, stderr bytes.Buffer
+	code := checker.Main(&stdout, &stderr, []string{"tnpu/..."}, Suite)
+	if code != 0 {
+		t.Fatalf("tnpu-vet exit %d over tnpu/...:\n%s", code, stderr.String())
+	}
+}
+
+// TestFlagsHandshake pins the first exchange of `go vet -vettool`: the
+// tool must describe its flags as a JSON array on stdout and exit 0.
+func TestFlagsHandshake(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := checker.Main(&stdout, &stderr, []string{"-flags"}, Suite); code != 0 {
+		t.Fatalf("-flags exit %d", code)
+	}
+	var flags []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &flags); err != nil {
+		t.Fatalf("-flags output %q is not a JSON flag list: %v", stdout.String(), err)
+	}
+	if len(flags) != 0 {
+		t.Fatalf("suite declares no flags, got %v", flags)
+	}
+}
+
+// TestVersionFlag pins the -V handshake cmd/go uses to identify vet
+// tools: a single stable "name version ..." line on stdout and exit 0.
+func TestVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := checker.Main(&stdout, &stderr, []string{"-V=full"}, Suite); code != 0 {
+		t.Fatalf("-V=full exit %d", code)
+	}
+	line := strings.TrimSpace(stdout.String())
+	if !strings.HasPrefix(line, "tnpu-vet version ") || strings.Contains(line, "\n") {
+		t.Fatalf("-V=full output %q; want one 'tnpu-vet version ...' line", line)
+	}
+}
+
+// TestRejectsFlags pins the argument contract: anything dash-prefixed
+// other than the protocol handshakes is a usage error, not a pattern.
+func TestRejectsFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := checker.Main(&stdout, &stderr, []string{"-badflag"}, Suite); code != 1 {
+		t.Fatalf("flag-looking argument: exit %d, want 1", code)
+	}
+}

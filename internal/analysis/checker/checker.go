@@ -1,0 +1,239 @@
+// Package checker drives analysis.Analyzers in the two modes cmd/tnpu-vet
+// supports:
+//
+//   - Standalone: load packages by pattern through internal/analysis/load
+//     and run every analyzer over each (RunPatterns) — `tnpu-vet ./...`.
+//   - Vet tool: speak cmd/go's vet.cfg protocol (RunVetCfg) so the same
+//     binary plugs into `go vet -vettool=$(which tnpu-vet)`. cmd/go hands
+//     the tool a JSON config per package naming the source files and the
+//     export data of the dependency closure, expects diagnostics on
+//     stderr with a non-zero exit, and requires the VetxOutput facts file
+//     to be written (this suite keeps no cross-package facts, so the file
+//     is always empty).
+//
+// In both modes a package's test variant ("pkg [pkg.test]") re-lists the
+// non-test sources, so diagnostics from variants are filtered to
+// _test.go files to keep every finding single-shot.
+package checker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"tnpu/internal/analysis"
+	"tnpu/internal/analysis/load"
+)
+
+// Diagnostic is one rendered finding.
+type Diagnostic struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
+}
+
+// runPackage applies every analyzer to one loaded package. testOnly
+// restricts reported findings to _test.go files (set for test variants
+// whose non-test files were already analyzed as the base package).
+func runPackage(pkg *load.Package, analyzers []*analysis.Analyzer, testOnly bool) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if testOnly && !strings.HasSuffix(pos.Filename, "_test.go") {
+				return
+			}
+			out = append(out, Diagnostic{Position: pos, Analyzer: name, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", pkg.ImportPath, a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Offset != b.Position.Offset {
+			return a.Position.Offset < b.Position.Offset
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// isTestVariant reports whether a loaded package is the in-package test
+// variant whose non-test files are also listed as a plain package (the
+// external test package, named *_test, has only _test.go files).
+func isTestVariant(pkg *load.Package) bool {
+	return pkg.ForTest != "" && !strings.HasSuffix(pkg.Types.Name(), "_test")
+}
+
+// RunPatterns loads patterns (tests included) in dir and runs the suite,
+// returning every finding in deterministic order.
+func RunPatterns(dir string, analyzers []*analysis.Analyzer, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := load.Load(load.Config{Dir: dir, Tests: true}, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := runPackage(pkg, analyzers, isTestVariant(pkg))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds...)
+	}
+	return out, nil
+}
+
+// vetConfig mirrors cmd/go's internal vetConfig (the vet.cfg JSON payload
+// handed to -vettool binaries); unused fields are omitted.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetCfg implements the vet-tool side of the protocol for one vet.cfg
+// file. It returns the diagnostics to print and the process exit code.
+func RunVetCfg(cfgPath string, analyzers []*analysis.Analyzer) ([]Diagnostic, int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, 1, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, 1, fmt.Errorf("parse %s: %v", cfgPath, err)
+	}
+	// This suite exports no facts, but cmd/go caches the vetx output
+	// file, so one must exist before any exit path.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, 1, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only invocation: facts would be computed here, and
+		// this suite has none.
+		return nil, 0, nil
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, f := range cfg.GoFiles {
+		parsed, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, 0, nil
+			}
+			return nil, 1, err
+		}
+		files = append(files, parsed)
+	}
+	typesPkg, info, err := load.Check(cfg.ImportPath, fset, files, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, 0, nil
+		}
+		return nil, 1, err
+	}
+	pkg := &load.Package{
+		ImportPath: cfg.ID,
+		Dir:        cfg.Dir,
+		GoFiles:    cfg.GoFiles,
+		Fset:       fset,
+		Syntax:     files,
+		Types:      typesPkg,
+		TypesInfo:  info,
+	}
+	// cmd/go vets both "pkg" and "pkg [pkg.test]"; report test-file
+	// findings only from the variant.
+	testOnly := strings.Contains(cfg.ID, " [") && !strings.HasSuffix(typesPkg.Name(), "_test")
+	ds, err := runPackage(pkg, analyzers, testOnly)
+	if err != nil {
+		return nil, 1, err
+	}
+	if len(ds) > 0 {
+		return ds, 2, nil
+	}
+	return nil, 0, nil
+}
+
+// Main is the shared entry point of cmd/tnpu-vet: it dispatches between
+// the cmd/go handshakes (-flags, -V=full), vet.cfg mode, and the
+// standalone pattern mode. Protocol responses go to stdout (where cmd/go
+// reads them), diagnostics to stderr, and the return value is the
+// process exit code.
+func Main(stdout, stderr io.Writer, args []string, analyzers []*analysis.Analyzer) int {
+	if len(args) == 1 && args[0] == "-flags" {
+		// `go vet -vettool` first asks the tool to describe its flags as
+		// a JSON array on stdout; this suite takes none.
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	}
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		// cmd/go identifies tools by `-V=full`; any stable single line
+		// of the form "<name> version <stuff>" serves.
+		fmt.Fprintln(stdout, "tnpu-vet version v1 (stdlib go/analysis suite)")
+		return 0
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		ds, code, err := RunVetCfg(args[0], analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "tnpu-vet: %v\n", err)
+			return 1
+		}
+		for _, d := range ds {
+			fmt.Fprintf(stderr, "%s: %s\n", d.Position, d.Message)
+		}
+		return code
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	for _, p := range patterns {
+		if strings.HasPrefix(p, "-") {
+			fmt.Fprintf(stderr, "tnpu-vet: unknown flag %s\nusage: tnpu-vet [packages] | tnpu-vet <vet.cfg>\n", p)
+			return 1
+		}
+	}
+	ds, err := RunPatterns("", analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "tnpu-vet: %v\n", err)
+		return 1
+	}
+	for _, d := range ds {
+		fmt.Fprintf(stderr, "%s: %s: %s\n", d.Position, d.Analyzer, d.Message)
+	}
+	if len(ds) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,12 @@
+package cycleunits_test
+
+import (
+	"testing"
+
+	"tnpu/internal/analysis/analysistest"
+	"tnpu/internal/analysis/cycleunits"
+)
+
+func TestCycleunits(t *testing.T) {
+	analysistest.Run(t, "testdata", cycleunits.Analyzer, "timing")
+}

@@ -1,0 +1,39 @@
+// Fixtures for the cycleunits analyzer: additive/comparison mixing of
+// cycle and byte quantities, lossy float64 round-trips, and the rate
+// conversions that stay legal.
+package timing
+
+// positive: comparing cycles against bytes.
+func compare(readyCycles, blockBytes uint64) bool {
+	return readyCycles > blockBytes // want "mixes"
+}
+
+// positive: adding cycles to bytes.
+func add(readyCycles, blockBytes uint64) uint64 {
+	return readyCycles + blockBytes // want "mixes"
+}
+
+// negative: multiplication is how rates convert between units.
+func rate(blockBytes, cyclesPerByte uint64) uint64 {
+	return blockBytes * cyclesPerByte
+}
+
+// negative: unitless operands never conflict.
+func scale(latency uint64, n int) uint64 {
+	return latency + uint64(n)
+}
+
+// negative: same unit on both sides.
+func sum(busCycles, macCycles uint64) uint64 {
+	return busCycles + macCycles
+}
+
+// positive: integer round-trip of float arithmetic over a cycle count.
+func roundTrip(busCycles uint64, mult float64) uint64 {
+	return uint64(float64(busCycles) * mult) // want "integer conversion of float"
+}
+
+// waiver: a deliberate float step in sweep configuration.
+func waived(busCycles uint64, mult float64) uint64 {
+	return uint64(float64(busCycles) * mult) //tnpu:unitok
+}

@@ -1,0 +1,12 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"tnpu/internal/analysis/analysistest"
+	"tnpu/internal/analysis/detmap"
+)
+
+func TestDetmap(t *testing.T) {
+	analysistest.Run(t, "testdata", detmap.Analyzer, "detmap")
+}

@@ -1,0 +1,79 @@
+// Fixtures for the detmap analyzer: map ranges whose iteration order can
+// leak into output, next to every accepted order-free form.
+package fixtures
+
+import "fmt"
+
+// positive: the loop body prints in iteration order.
+func positive(m map[string]int) {
+	for k, v := range m { // want "randomized iteration order"
+		fmt.Println(k, v)
+	}
+}
+
+// negative: the sorted-key extraction idiom.
+func sortedExtraction(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// negative: commutative numeric accumulation.
+func accumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// positive: string += concatenates in iteration order.
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m { // want "randomized iteration order"
+		s += k
+	}
+	return s
+}
+
+// negative: writes keyed by the iteration key land in fixed slots.
+func keyWrite(src, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// negative: existence probe with literal-only returns.
+func probe(m map[string]bool, want string) bool {
+	for k := range m {
+		if k == want {
+			return true
+		}
+	}
+	return false
+}
+
+// negative: removal keyed by the iteration key commutes.
+func clear2(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// negative: binding neither key nor value makes every iteration identical.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// waiver: the caller sorts the emitted lines before use.
+func waived(m map[string]int) {
+	for k, v := range m { //tnpu:orderfree
+		fmt.Println(k, v)
+	}
+}

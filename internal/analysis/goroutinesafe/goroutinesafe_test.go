@@ -1,0 +1,12 @@
+package goroutinesafe_test
+
+import (
+	"testing"
+
+	"tnpu/internal/analysis/analysistest"
+	"tnpu/internal/analysis/goroutinesafe"
+)
+
+func TestGoroutinesafe(t *testing.T) {
+	analysistest.Run(t, "testdata", goroutinesafe.Analyzer, "secmem", "app")
+}

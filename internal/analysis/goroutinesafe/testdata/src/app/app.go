@@ -1,0 +1,60 @@
+// Fixtures for the goroutinesafe analyzer: per-goroutine engine state
+// escaping into goroutines and unmarked holder structs.
+package app
+
+import "testdata/secmem"
+
+// holder keeps an engine without declaring ownership.
+type holder struct {
+	mac *secmem.MACEngine // want "holds per-goroutine"
+}
+
+// owner is itself per-goroutine, so ownership propagates cleanly.
+//
+//tnpu:per-goroutine
+type owner struct {
+	mac *secmem.MACEngine
+}
+
+// guarded synchronizes access to the engine itself.
+type guarded struct {
+	mac *secmem.MACEngine //tnpu:sharedok (all access under mu)
+}
+
+// pool claims concurrency safety while holding single-goroutine state.
+// All methods are safe for concurrent use.
+type pool struct {
+	mac *secmem.MACEngine // want "documents itself safe for concurrent use"
+}
+
+// scratch is a locally declared per-goroutine type: the doc marker is
+// read from this package's own syntax, no registry entry needed.
+//
+//tnpu:per-goroutine
+type scratch struct {
+	buf [64]byte
+}
+
+// badHolder keeps a locally marked type without declaring ownership.
+type badHolder struct {
+	s *scratch // want "holds per-goroutine"
+}
+
+func leak(m *secmem.MACEngine) {
+	go func() {
+		m.Sum(nil) // want "captured by a goroutine"
+	}()
+	go m.Sum(nil) // want "receiver of a go statement"
+	go func() {
+		local := secmem.NewMACEngine()
+		local.Sum(nil) // constructed inside the goroutine: owned here
+	}()
+}
+
+func use(h *holder, o *owner, g *guarded, p *pool, b *badHolder) {
+	_ = h.mac
+	_ = o.mac
+	_ = g.mac
+	_ = p.mac
+	_ = b.s
+}

@@ -1,0 +1,18 @@
+// Package secmem is a registry stand-in: its base name and type name
+// match an entry in goroutinesafe.Registry, exercising the cross-package
+// path (markers on foreign declarations are invisible to the analyzer).
+package secmem
+
+// MACEngine mirrors the real per-goroutine engine.
+type MACEngine struct {
+	state [64]byte
+}
+
+// NewMACEngine creates an engine.
+func NewMACEngine() *MACEngine { return &MACEngine{} }
+
+// Sum models a stateful MAC computation.
+func (m *MACEngine) Sum(b []byte) []byte {
+	m.state[0]++
+	return b
+}

@@ -1,0 +1,56 @@
+// Fixtures for the noalloc analyzer: the package base name matches the
+// real hot-path package, so ReadRun/WriteRun methods must carry the
+// //tnpu:noalloc annotation, and annotated bodies must not allocate.
+package memprot
+
+import "fmt"
+
+type engine struct {
+	buf   []byte
+	lines map[uint64]*[64]uint8
+}
+
+// positive: a hot-path entry point missing the annotation.
+func (e *engine) ReadRun(n int) int { // want "must be annotated"
+	return n
+}
+
+// WriteRun is annotated, so its body is checked. //tnpu:noalloc
+func (e *engine) WriteRun(n int) int {
+	e.buf = append(e.buf, byte(n)) // want "append"
+	s := fmt.Sprintf("%d", n)      // want "fmt.Sprintf"
+	go e.drain()                   // want "go statement"
+	f := func() int { return n }   // want "function literal"
+	line := e.lines[0]
+	if line == nil {
+		line = new([64]uint8) //tnpu:allocok (first touch; steady state reuses it)
+		e.lines[0] = line
+	}
+	line[0]++
+	return n + len(s) + f()
+}
+
+// drain is unannotated, so its allocations are its own business.
+func (e *engine) drain() {
+	e.buf = append(e.buf, 0)
+}
+
+// hot is annotated and clean: indexing, arithmetic, and calls through
+// concrete types do not allocate. //tnpu:noalloc
+func (e *engine) hot(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += int(e.buf[i%len(e.buf)])
+	}
+	return total
+}
+
+// sink has an interface parameter; concrete non-pointer arguments box.
+func sink(v interface{}) { _ = v }
+
+// boxes is annotated and passes an int to an interface parameter.
+// //tnpu:noalloc
+func (e *engine) boxes(n int) {
+	sink(n) // want "interface boxing"
+	sink(e) // pointer-shaped: fits the interface word, no boxing
+}

@@ -1,0 +1,12 @@
+package secerr_test
+
+import (
+	"testing"
+
+	"tnpu/internal/analysis/analysistest"
+	"tnpu/internal/analysis/secerr"
+)
+
+func TestSecerr(t *testing.T) {
+	analysistest.Run(t, "testdata", secerr.Analyzer, "secmem", "client")
+}

@@ -1,0 +1,46 @@
+// Fixtures for the secerr analyzer: dropped and blank-discarded errors
+// from a contract package, next to the accepted forms.
+package client
+
+import "testdata/secmem"
+
+// positive: the verification error is discarded outright.
+func drops() {
+	secmem.Verify(0) // want "is discarded"
+}
+
+// positive: the error result lands in the blank identifier.
+func blank() []byte {
+	b, _ := secmem.Read(0) // want "blank identifier"
+	return b
+}
+
+// negative: the error is checked.
+func checked() error {
+	if err := secmem.Verify(0); err != nil {
+		return err
+	}
+	b, err := secmem.Read(0)
+	if err != nil {
+		return err
+	}
+	_ = b
+	return nil
+}
+
+// negative: errorless results need no handling.
+func counts() int {
+	return secmem.Blocks()
+}
+
+// waiver: a deliberate drop (the test asserts failure elsewhere).
+func waivedDrop() {
+	secmem.Verify(0) //tnpu:errok
+}
+
+// waiver: comment on the line above also applies.
+func waivedBlank() []byte {
+	//tnpu:errok
+	b, _ := secmem.Read(0)
+	return b
+}

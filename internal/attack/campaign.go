@@ -128,14 +128,16 @@ func selectVictims(prog *compiler.Program, targets []Target) (*victims, error) {
 		switch in.Op {
 		case isa.OpMvOut:
 			for _, seg := range in.Segments {
-				blocksOf(seg, func(addr uint64) error {
+				// The callback never fails, so neither can blocksOf.
+				blocksOf(seg, func(addr uint64) error { //tnpu:errok
 					written[addr] = true
 					return nil
 				})
 			}
 		case isa.OpMvIn:
 			for _, seg := range in.Segments {
-				blocksOf(seg, func(addr uint64) error {
+				// The callback never fails, so neither can blocksOf.
+				blocksOf(seg, func(addr uint64) error { //tnpu:errok
 					cls, ok := classOf(addr)
 					if !ok {
 						return nil

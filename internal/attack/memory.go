@@ -114,6 +114,10 @@ func absent(op string, addr uint64) error {
 // override map models a tampered/rolled-back table entry: once set, reads
 // of the block verify against the overridden version instead of the one
 // the software supplies, and the version-keyed MAC catches the mismatch.
+//
+// Owns its protected memory: one adapter per campaign cell/goroutine.
+//
+//tnpu:per-goroutine
 type treelessMem struct {
 	m        *secmem.TreelessMemory
 	last     map[uint64]uint64 // last written version per block
@@ -182,6 +186,10 @@ type leafSnap struct {
 // tree: rollback replays a stale counter line (its MAC is keyed by the
 // parent counter, which has since advanced), and freshness tampering
 // flips a bit of the line's fully packed SC-64 encoding.
+//
+// Owns its protected memory: one adapter per campaign cell/goroutine.
+//
+//tnpu:per-goroutine
 type treeMem struct {
 	m        *integrity.TreeMemory
 	prevLeaf map[uint64]leafSnap // by level-0 line index

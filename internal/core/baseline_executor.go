@@ -18,6 +18,11 @@ import (
 // models demonstrates that the two schemes are functionally equivalent in
 // what they protect — the paper's "same security level" claim — differing
 // only in who tracks freshness.
+//
+// Like TraceExecutor, it owns its protected memory; run each executor on
+// one goroutine.
+//
+//tnpu:per-goroutine
 type BaselineTraceExecutor struct {
 	prog *compiler.Program
 	mem  *integrity.TreeMemory

@@ -22,7 +22,10 @@ import (
 
 // Context is one trusted NPU context: a protected memory region, its
 // version table (held in the fully protected enclave region), and the
-// tensor allocator.
+// tensor allocator. It owns its protected memory, so a context is
+// single-goroutine state like the engines underneath it.
+//
+//tnpu:per-goroutine
 type Context struct {
 	mem     *secmem.TreelessMemory
 	table   *tensor.Table

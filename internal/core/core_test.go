@@ -270,7 +270,9 @@ func TestSecureMatMulDetectsWeightTamper(t *testing.T) {
 	ct, _ := c.Alloc("C", 2*m*n)
 	c.InitTensor(at.ID, make([]byte, 2*m*k))
 	c.InitTensor(bt.ID, make([]byte, 2*k*n))
-	c.Memory().Corrupt(bt.Addr, 3) // physical attack on the weights
+	if err := c.Memory().Corrupt(bt.Addr, 3); err != nil { // physical attack on the weights
+		t.Fatal(err)
+	}
 	if err := SecureMatMul(c, at.ID, bt.ID, ct.ID, m, k, n, 1); !errors.Is(err, secmem.ErrIntegrity) {
 		t.Fatalf("tampered weights undetected: %v", err)
 	}

@@ -22,6 +22,11 @@ import (
 // math (the protection layer is agnostic to values); the executor checks
 // the tag on every verified read, so any silent data substitution that
 // somehow passed the MAC would still be caught.
+//
+// The executor owns its protected memory; run each executor on one
+// goroutine (the parallel harnesses construct one per worker).
+//
+//tnpu:per-goroutine
 type TraceExecutor struct {
 	prog *compiler.Program
 	mem  *secmem.TreelessMemory

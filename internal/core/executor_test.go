@@ -80,7 +80,9 @@ func TestMidRunTamperDetected(t *testing.T) {
 	if !found {
 		t.Skip("no mvout in first half")
 	}
-	x.Memory().Corrupt(victim, 5)
+	if err := x.Memory().Corrupt(victim, 5); err != nil {
+		t.Fatal(err)
+	}
 	err := runFrom(x, half)
 	if err == nil {
 		// The corrupted block may never be re-read if its consumer

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"sort"
 	"sync"
 	"testing"
 
@@ -28,10 +29,17 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 		t.Errorf("parallel Figure 14 differs from sequential:\n--- sequential\n%s--- parallel\n%s", sf.String(), pf.String())
 	}
 
-	for name, gen := range map[string]func(*Runner) (Sweep, error){
+	gens := map[string]func(*Runner) (Sweep, error){
 		"bandwidth": func(r *Runner) (Sweep, error) { return r.BandwidthSweep("df") },
 		"latency":   func(r *Runner) (Sweep, error) { return r.LatencySweep("df") },
-	} {
+	}
+	names := make([]string, 0, len(gens))
+	for name := range gens {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		gen := gens[name]
 		ss, err := gen(seq)
 		if err != nil {
 			t.Fatal(err)

@@ -129,7 +129,10 @@ func (r *Runner) BandwidthSweep(short string) (Sweep, error) {
 	var points []sweepPoint
 	for _, mult := range []float64{0.5, 1, 2, 4} {
 		cfg := npu.SmallNPU()
-		cfg.Mem.BandwidthBytesPerSec = uint64(float64(cfg.Mem.BandwidthBytesPerSec) * mult)
+		// Sweep-axis configuration, not timing accounting: the multipliers
+		// are exact binary fractions of a power-of-two base bandwidth, so
+		// the float round-trip is lossless here.
+		cfg.Mem.BandwidthBytesPerSec = uint64(float64(cfg.Mem.BandwidthBytesPerSec) * mult) //tnpu:unitok
 		points = append(points, sweepPoint{fmt.Sprintf("%.1fx BW", mult), cfg})
 	}
 	return r.sweepOver("memory bandwidth", short, points)

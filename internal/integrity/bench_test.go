@@ -24,7 +24,10 @@ func BenchmarkTreeIncrement(b *testing.B) {
 }
 
 func BenchmarkTreeMemoryWriteRead(b *testing.B) {
-	m, _ := NewTreeMemory(1<<20, encKey, macKey)
+	m, err := NewTreeMemory(1<<20, encKey, macKey)
+	if err != nil {
+		b.Fatal(err)
+	}
 	block := make([]byte, 64)
 	b.SetBytes(128)
 	for i := 0; i < b.N; i++ {

@@ -39,6 +39,8 @@ func (e *NodeError) Is(target error) bool {
 // implicitly trusted. Every DRAM-resident node carries a MAC computed over
 // (packed node content, node address, parent counter), so replaying a
 // stale node/MAC pair fails because the parent counter has moved on.
+//
+//tnpu:per-goroutine
 type CounterTree struct {
 	geo    Geometry
 	macEng *secmem.MACEngine

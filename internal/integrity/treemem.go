@@ -12,7 +12,10 @@ import (
 // freshness, and an 8-byte MAC per data block keyed by the block's current
 // counter. It is the hardware-managed scheme the paper's Baseline
 // configuration models (Sec. III-B) — contrast with secmem.TreelessMemory,
-// where the version comes from software instead of a counter tree.
+// where the version comes from software instead of a counter tree. Like
+// that type, it owns per-goroutine crypto engine state.
+//
+//tnpu:per-goroutine
 type TreeMemory struct {
 	tree   *CounterTree
 	ctr    *secmem.CTREngine

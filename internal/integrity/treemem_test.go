@@ -28,6 +28,15 @@ func block(seed byte) []byte {
 	return b
 }
 
+// mustWrite is test setup: a write failure here is a harness bug, not
+// the property under test.
+func mustWrite(t *testing.T, m *TreeMemory, addr uint64, b []byte) {
+	t.Helper()
+	if err := m.WriteBlock(addr, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestTreeMemRoundTrip(t *testing.T) {
 	m := newTreeMem(t, 1<<20)
 	pt := block(0x5a)
@@ -46,9 +55,9 @@ func TestTreeMemRoundTrip(t *testing.T) {
 func TestTreeMemOverwriteChangesCiphertext(t *testing.T) {
 	m := newTreeMem(t, 1<<20)
 	pt := block(1)
-	m.WriteBlock(0, pt)
+	mustWrite(t, m, 0, pt)
 	ct1, _, _ := m.SnapshotBlock(0)
-	m.WriteBlock(0, pt) // same plaintext, counter advanced
+	mustWrite(t, m, 0, pt) // same plaintext, counter advanced
 	ct2, _, _ := m.SnapshotBlock(0)
 	if ct1 == ct2 {
 		t.Fatal("counter-mode rewrite of same plaintext must change ciphertext")
@@ -57,8 +66,10 @@ func TestTreeMemOverwriteChangesCiphertext(t *testing.T) {
 
 func TestTreeMemTamperDetected(t *testing.T) {
 	m := newTreeMem(t, 1<<20)
-	m.WriteBlock(0, block(1))
-	m.CorruptBlock(0, 9)
+	mustWrite(t, m, 0, block(1))
+	if err := m.CorruptBlock(0, 9); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := m.ReadBlock(0); !errors.Is(err, secmem.ErrIntegrity) {
 		t.Fatalf("tamper undetected: %v", err)
 	}
@@ -66,9 +77,9 @@ func TestTreeMemTamperDetected(t *testing.T) {
 
 func TestTreeMemReplayDetected(t *testing.T) {
 	m := newTreeMem(t, 1<<20)
-	m.WriteBlock(0, block(1))
+	mustWrite(t, m, 0, block(1))
 	ct, mac, _ := m.SnapshotBlock(0)
-	m.WriteBlock(0, block(2)) // counter now ahead
+	mustWrite(t, m, 0, block(2)) // counter now ahead
 	m.RestoreBlock(0, ct, mac)
 	if _, err := m.ReadBlock(0); !errors.Is(err, secmem.ErrIntegrity) {
 		t.Fatalf("replay undetected: %v", err)
@@ -79,10 +90,10 @@ func TestTreeMemCounterReplayDetected(t *testing.T) {
 	// Full replay: stale data AND stale counter line. The tree must catch
 	// the counter line against its parent.
 	m := newTreeMem(t, 1<<20)
-	m.WriteBlock(0, block(1))
+	mustWrite(t, m, 0, block(1))
 	ctSnap, macSnap, _ := m.SnapshotBlock(0)
 	rawCtr, macCtr := m.Tree().SnapshotNode(0, 0)
-	m.WriteBlock(0, block(2))
+	mustWrite(t, m, 0, block(2))
 	m.RestoreBlock(0, ctSnap, macSnap)
 	m.Tree().RestoreNode(0, 0, rawCtr, macCtr)
 	if _, err := m.ReadBlock(0); err == nil {
@@ -113,8 +124,8 @@ func TestTreeMemBounds(t *testing.T) {
 func TestTreeMemOverflowReencryption(t *testing.T) {
 	m := newTreeMem(t, 8<<10)
 	// Populate two sibling blocks in the same counter line.
-	m.WriteBlock(0*64, block(1))
-	m.WriteBlock(1*64, block(2))
+	mustWrite(t, m, 0*64, block(1))
+	mustWrite(t, m, 1*64, block(2))
 	// Drive slot 0 to minor overflow (starts at 1 after first write).
 	for i := 0; i < minorLimit; i++ {
 		if err := m.WriteBlock(0*64, block(1)); err != nil {
@@ -171,7 +182,8 @@ func TestTreeMemProperty(t *testing.T) {
 			}
 			latest[addr] = op.Seed
 		}
-		for addr, seed := range latest {
+		// Pure verification: any order yields the same bool result.
+		for addr, seed := range latest { //tnpu:orderfree
 			got, err := m.ReadBlock(addr)
 			if err != nil || !bytes.Equal(got, block(seed)) {
 				return false

@@ -7,7 +7,8 @@ import (
 
 func TestOpStrings(t *testing.T) {
 	want := map[Op]string{OpMvIn: "mvin", OpMvOut: "mvout", OpPreload: "preload", OpCompute: "compute"}
-	for op, s := range want {
+	// Each iteration asserts independently; order never reaches output.
+	for op, s := range want { //tnpu:orderfree
 		if op.String() != s {
 			t.Errorf("%v.String() = %q, want %q", int(op), op.String(), s)
 		}

@@ -105,24 +105,28 @@ func (b *baseline) batchSafe() bool {
 
 // --- unsecure / encrypt-only: pure bandwidth arithmetic ---
 
+// ReadRun serves a read run as one bus stream. //tnpu:noalloc
 func (u *unsecure) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
 	u.traffic.AddRead(stats.Data, uint64(n)*dram.BlockBytes)
 	next, maxFree, _ := u.cfg.Bus.StreamRun(ready, addr, n, w)
 	return next, maxFree + u.cfg.Bus.Latency()
 }
 
+// WriteRun serves a write run as one bus stream. //tnpu:noalloc
 func (u *unsecure) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
 	u.traffic.AddWrite(stats.Data, uint64(n)*dram.BlockBytes)
 	next, maxFree, _ := u.cfg.Bus.StreamRun(ready, addr, n, w)
 	return next, maxFree
 }
 
+// ReadRun streams the run and tacks the XTS pipe onto arrival. //tnpu:noalloc
 func (e *encryptOnly) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
 	e.traffic.AddRead(stats.Data, uint64(n)*dram.BlockBytes)
 	next, maxFree, _ := e.cfg.Bus.StreamRun(ready, addr, n, w)
 	return next, maxFree + e.cfg.Bus.Latency() + e.cfg.XTSCycles
 }
 
+// WriteRun streams the run; encryption overlaps issue. //tnpu:noalloc
 func (e *encryptOnly) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
 	e.traffic.AddWrite(stats.Data, uint64(n)*dram.BlockBytes)
 	next, maxFree, _ := e.cfg.Bus.StreamRun(ready, addr, n, w)
@@ -137,6 +141,7 @@ func (e *encryptOnly) WriteRun(ready, addr, version uint64, n int, w *dram.Issue
 // loop below remains as the fallback for short runs, multi-channel buses,
 // and configurations where the append invariant is unprovable.
 
+// ReadRun batches MAC-line streaks of the read run. //tnpu:noalloc
 func (t *treeless) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
 	if n >= streakMinBlocks && t.cfg.Bus.BeginRun(&t.cur, w, ready, 3*n+16) {
 		return t.readStreak(ready, addr, n, w)
@@ -174,6 +179,7 @@ func (t *treeless) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWind
 	return r, maxDataAt
 }
 
+// WriteRun batches MAC-line streaks of the write run. //tnpu:noalloc
 func (t *treeless) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
 	if n >= streakMinBlocks && t.cfg.Bus.BeginRun(&t.cur, w, ready, 3*n+16) {
 		return t.writeStreak(ready, addr, n, w)
@@ -214,6 +220,7 @@ func (t *treeless) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWin
 // streak — before touching state — onto the reference body below, rejoining
 // afterwards when enough blocks remain.
 
+// ReadRun batches counter-line chunks of the read run. //tnpu:noalloc
 func (b *baseline) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
 	if !b.batchSafe() {
 		return runPerBlock(b, true, ready, addr, version, n, w)
@@ -329,6 +336,7 @@ func (b *baseline) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWind
 	return r, maxDataAt
 }
 
+// WriteRun batches counter-line chunks of the write run. //tnpu:noalloc
 func (b *baseline) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
 	// A minor-counter overflow mid-run emits a re-encryption burst between
 	// two data blocks; runs about to overflow (at most one write-run in 128
@@ -404,7 +412,9 @@ func (b *baseline) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWin
 				}
 				minorLine = b.minors[lineIdx]
 				if minorLine == nil {
-					minorLine = new([integrity.Arity]uint8)
+					// First touch of this counter line; every later run
+					// reuses it, so steady state stays at 0 allocs/op.
+					minorLine = new([integrity.Arity]uint8) //tnpu:allocok
 					b.minors[lineIdx] = minorLine
 				}
 			}
@@ -431,7 +441,9 @@ func (b *baseline) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWin
 			counterAt = b.counterAccessRun(r, a, ctrCount, true)
 			minorLine = b.minors[lineIdx]
 			if minorLine == nil {
-				minorLine = new([integrity.Arity]uint8)
+				// First touch of this counter line; every later run
+				// reuses it, so steady state stays at 0 allocs/op.
+				minorLine = new([integrity.Arity]uint8) //tnpu:allocok
 				b.minors[lineIdx] = minorLine
 			}
 		}

@@ -2,6 +2,7 @@ package memprot
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 
 	"tnpu/internal/stats"
@@ -106,7 +107,13 @@ func TestSchemeTrafficOrderConformance(t *testing.T) {
 			return (uint64(i*131) % (1 << 22)) &^ 63, i%4 == 0
 		},
 	}
-	for name, pat := range patterns {
+	patNames := make([]string, 0, len(patterns))
+	for name := range patterns {
+		patNames = append(patNames, name)
+	}
+	sort.Strings(patNames)
+	for _, name := range patNames {
+		pat := patterns[name]
 		totals := map[Scheme]uint64{}
 		for _, scheme := range AllSchemes() {
 			e := newEngine(t, scheme)

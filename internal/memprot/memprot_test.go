@@ -203,7 +203,10 @@ func TestTreelessNoCounterTraffic(t *testing.T) {
 
 func TestTreelessReadLatencyIncludesXTS(t *testing.T) {
 	cfg := DefaultConfig(smallBus())
-	e, _ := New(TreeLess, cfg)
+	e, err := New(TreeLess, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Warm the MAC line first so the second read is the pure hit path.
 	e.ReadBlock(0, 0, 0)
 	busFree, dataAt := e.ReadBlock(1000, 64, 0)
@@ -278,8 +281,14 @@ func TestSchemesShareBusContention(t *testing.T) {
 	// Two engines on one bus: traffic from one delays the other.
 	bus := smallBus()
 	cfg := DefaultConfig(bus)
-	a, _ := New(Unsecure, cfg)
-	b, _ := New(Unsecure, cfg)
+	a, err := New(Unsecure, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Unsecure, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	a.ReadBlock(0, 0, 0)
 	busFree, _ := b.ReadBlock(0, 0, 0)
 	if busFree != 32 {

@@ -160,7 +160,8 @@ func TestValidateRejectsBadGraphs(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
-	for k, s := range map[Kind]string{KindGEMM: "gemm", KindGather: "gather", KindEltwise: "eltwise", KindPool: "pool"} {
+	// Each iteration asserts independently; order never reaches output.
+	for k, s := range map[Kind]string{KindGEMM: "gemm", KindGather: "gather", KindEltwise: "eltwise", KindPool: "pool"} { //tnpu:orderfree
 		if k.String() != s {
 			t.Errorf("kind %d = %q", int(k), k.String())
 		}

@@ -162,7 +162,10 @@ func TestBaselineSlowdownInPaperRange(t *testing.T) {
 func TestMachineStepInterface(t *testing.T) {
 	cfg := SmallNPU()
 	prog := compileFor(t, "df", cfg)
-	eng, _ := memprot.New(memprot.Unsecure, memprot.DefaultConfig(newBus(cfg)))
+	eng, err := memprot.New(memprot.Unsecure, memprot.DefaultConfig(newBus(cfg)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	m := NewMachine(prog, eng)
 	steps := 0
 	var lastReady uint64
@@ -233,7 +236,10 @@ func TestRunRejectsBadConfig(t *testing.T) {
 func TestBlocksMatchTraffic(t *testing.T) {
 	cfg := SmallNPU()
 	prog := compileFor(t, "agz", cfg)
-	eng, _ := memprot.New(memprot.Unsecure, memprot.DefaultConfig(newBus(cfg)))
+	eng, err := memprot.New(memprot.Unsecure, memprot.DefaultConfig(newBus(cfg)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	m := NewMachine(prog, eng)
 	m.Run()
 	if got := eng.Traffic().Class(stats.Data); got != m.BlocksMoved()*64 {
@@ -244,7 +250,10 @@ func TestBlocksMatchTraffic(t *testing.T) {
 func TestUtilizationAndLayerSpans(t *testing.T) {
 	cfg := SmallNPU()
 	prog := compileFor(t, "df", cfg)
-	eng, _ := memprot.New(memprot.Unsecure, memprot.DefaultConfig(newBus(cfg)))
+	eng, err := memprot.New(memprot.Unsecure, memprot.DefaultConfig(newBus(cfg)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	m := NewMachine(prog, eng)
 	m.Run()
 	if u := m.Utilization(); u <= 0 || u > 1 {
@@ -333,7 +342,10 @@ func TestIOMMUTranslation(t *testing.T) {
 		t.Errorf("larger TLB slower: %d vs %d", big.Cycles, walked.Cycles)
 	}
 
-	eng, _ := memprot.New(memprot.Unsecure, memprot.DefaultConfig(newBus(cfg)))
+	eng, err := memprot.New(memprot.Unsecure, memprot.DefaultConfig(newBus(cfg)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	m := NewMachine(prog, eng)
 	m.EnableTranslation(32, 300)
 	m.Run()

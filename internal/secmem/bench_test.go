@@ -6,7 +6,7 @@ import "testing"
 // costs a software implementation of the two schemes would pay.
 
 func BenchmarkCTRApply(b *testing.B) {
-	e, _ := NewCTREngine(testKey16)
+	e := newCTR(b)
 	block := mkBlock(1)
 	b.SetBytes(BlockBytes)
 	for i := 0; i < b.N; i++ {
@@ -15,7 +15,7 @@ func BenchmarkCTRApply(b *testing.B) {
 }
 
 func BenchmarkXTSEncrypt(b *testing.B) {
-	e, _ := NewXTSEngine(testKey32)
+	e := newXTS(b)
 	block := mkBlock(1)
 	b.SetBytes(BlockBytes)
 	for i := 0; i < b.N; i++ {
@@ -33,7 +33,10 @@ func BenchmarkMACGenerate(b *testing.B) {
 }
 
 func BenchmarkTreelessWriteRead(b *testing.B) {
-	mem, _ := NewTreelessMemory(testKey32, testKey16)
+	mem, err := NewTreelessMemory(testKey32, testKey16)
+	if err != nil {
+		b.Fatal(err)
+	}
 	block := mkBlock(1)
 	b.SetBytes(2 * BlockBytes)
 	for i := 0; i < b.N; i++ {

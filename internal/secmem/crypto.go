@@ -174,6 +174,8 @@ func (e *XTSEngine) apply(addr uint64, data []byte, encrypt bool) []byte {
 // scratch per call. A MACEngine is therefore NOT safe for concurrent use;
 // callers that MAC from multiple goroutines (e.g. the attack campaign
 // runner) must create one engine per goroutine.
+//
+//tnpu:per-goroutine
 type MACEngine struct {
 	key []byte
 	h   hash.Hash // resettable HMAC-SHA256 state keyed on key

@@ -19,6 +19,26 @@ func mkBlock(seed byte) []byte {
 	return b
 }
 
+// newCTR / newXTS are test setup: a constructor failure on a valid key
+// is a harness bug, not the property under test.
+func newCTR(tb testing.TB) *CTREngine {
+	tb.Helper()
+	e, err := NewCTREngine(testKey16)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return e
+}
+
+func newXTS(tb testing.TB) *XTSEngine {
+	tb.Helper()
+	e, err := NewXTSEngine(testKey32)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return e
+}
+
 func TestCTRRoundTrip(t *testing.T) {
 	e, err := NewCTREngine(testKey16)
 	if err != nil {
@@ -36,7 +56,7 @@ func TestCTRRoundTrip(t *testing.T) {
 }
 
 func TestCTRPadUniqueness(t *testing.T) {
-	e, _ := NewCTREngine(testKey16)
+	e := newCTR(t)
 	var p1, p2, p3 [BlockBytes]byte
 	e.Pad(0x1000, 1, &p1)
 	e.Pad(0x1000, 2, &p2) // counter changed
@@ -50,7 +70,7 @@ func TestCTRPadUniqueness(t *testing.T) {
 }
 
 func TestCTRWrongCounterGarbles(t *testing.T) {
-	e, _ := NewCTREngine(testKey16)
+	e := newCTR(t)
 	pt := mkBlock(3)
 	ct := e.Apply(0, 10, pt)
 	if bytes.Equal(e.Apply(0, 11, ct), pt) {
@@ -65,7 +85,7 @@ func TestCTRBadKey(t *testing.T) {
 }
 
 func TestCTRBadBlockSizePanics(t *testing.T) {
-	e, _ := NewCTREngine(testKey16)
+	e := newCTR(t)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -90,7 +110,7 @@ func TestXTSRoundTrip(t *testing.T) {
 }
 
 func TestXTSAddressTweak(t *testing.T) {
-	e, _ := NewXTSEngine(testKey32)
+	e := newXTS(t)
 	pt := mkBlock(1)
 	c1 := e.Encrypt(0, pt)
 	c2 := e.Encrypt(64, pt)
@@ -107,7 +127,7 @@ func TestXTSDeterministicPerAddress(t *testing.T) {
 	// XTS has no counter: same (addr, plaintext) gives same ciphertext.
 	// This is exactly why the tree-less scheme needs versioned MACs for
 	// replay protection rather than relying on encryption alone.
-	e, _ := NewXTSEngine(testKey32)
+	e := newXTS(t)
 	pt := mkBlock(5)
 	if !bytes.Equal(e.Encrypt(0, pt), e.Encrypt(0, pt)) {
 		t.Fatal("XTS must be deterministic for fixed (addr, plaintext)")
@@ -175,8 +195,8 @@ func TestHashNodeDomainSeparation(t *testing.T) {
 
 // Property: CTR and XTS round-trip for arbitrary blocks and addresses.
 func TestRoundTripProperty(t *testing.T) {
-	ctr, _ := NewCTREngine(testKey16)
-	xts, _ := NewXTSEngine(testKey32)
+	ctr := newCTR(t)
+	xts := newXTS(t)
 	f := func(seed [BlockBytes]byte, addrRaw uint32, counter uint16) bool {
 		addr := uint64(addrRaw) &^ (BlockBytes - 1)
 		pt := seed[:]

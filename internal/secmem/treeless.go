@@ -20,6 +20,8 @@ type snapshot struct {
 // The zero value is unusable; construct with NewTreelessMemory. Not safe
 // for concurrent use: the hardware it models serializes block operations
 // at the memory-controller security engine.
+//
+//tnpu:per-goroutine
 type TreelessMemory struct {
 	xts    *XTSEngine
 	mac    *MACEngine

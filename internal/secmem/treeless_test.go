@@ -64,7 +64,9 @@ func TestReplayAttackDetected(t *testing.T) {
 func TestTamperDetected(t *testing.T) {
 	m := newMem(t)
 	m.WriteBlock(0, mkBlock(1), 1)
-	m.Corrupt(0, 13)
+	if err := m.Corrupt(0, 13); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := m.ReadBlock(0, 1); !errors.Is(err, ErrIntegrity) {
 		t.Fatalf("bit flip must be detected, got %v", err)
 	}
@@ -74,7 +76,9 @@ func TestRelocationDetected(t *testing.T) {
 	m := newMem(t)
 	m.WriteBlock(0x000, mkBlock(1), 1)
 	m.WriteBlock(0x40, mkBlock(2), 1)
-	m.Relocate(0x000, 0x40) // splice valid block to another address
+	if err := m.Relocate(0x000, 0x40); err != nil { // splice valid block to another address
+		t.Fatal(err)
+	}
 	if _, err := m.ReadBlock(0x40, 1); !errors.Is(err, ErrIntegrity) {
 		t.Fatalf("spliced block must be detected, got %v", err)
 	}
@@ -110,7 +114,9 @@ func TestMultiBlockPartialTamper(t *testing.T) {
 	m := newMem(t)
 	data := make([]byte, 256)
 	m.Write(0, data, 1)
-	m.Corrupt(128, 0) // third block
+	if err := m.Corrupt(128, 0); err != nil { // third block
+		t.Fatal(err)
+	}
 	if _, err := m.Read(0, 256, 1); !errors.Is(err, ErrIntegrity) {
 		t.Fatal("tamper in any covered block must fail the whole read")
 	}

@@ -51,7 +51,8 @@ func TestTrafficClassString(t *testing.T) {
 	want := map[TrafficClass]string{
 		Data: "data", Counter: "counter", Hash: "hash", MAC: "mac", Version: "version",
 	}
-	for c, s := range want {
+	// Each iteration asserts independently; order never reaches output.
+	for c, s := range want { //tnpu:orderfree
 		if c.String() != s {
 			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), s)
 		}

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# One-shot local lint runner: the same checks the CI lint job gates
+# merges on, in the same order. Runs gofmt, go vet, and the repo's own
+# invariant suite (cmd/tnpu-vet, DESIGN.md §7c) unconditionally;
+# staticcheck and govulncheck run only if already installed, since this
+# tree builds offline with no module dependencies.
+#
+# Usage:
+#   scripts/lint.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+
+echo "== gofmt"
+out="$(gofmt -l .)"
+if [ -n "$out" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$out" >&2
+  status=1
+fi
+
+echo "== go vet"
+go vet ./... || status=1
+
+echo "== tnpu-vet (invariant suite)"
+bin="$(mktemp -d)/tnpu-vet"
+trap 'rm -rf "$(dirname "$bin")"' EXIT
+go build -o "$bin" ./cmd/tnpu-vet
+# Run it both ways: standalone over every package, and through cmd/go's
+# -vettool plumbing so the vet.cfg protocol path stays exercised.
+"$bin" ./... || status=1
+go vet -vettool="$bin" ./... || status=1
+
+if command -v staticcheck >/dev/null 2>&1; then
+  echo "== staticcheck"
+  staticcheck ./... || status=1
+else
+  echo "== staticcheck (not installed; skipped — CI runs the pinned version)"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+  echo "== govulncheck"
+  govulncheck ./... || status=1
+else
+  echo "== govulncheck (not installed; skipped — CI runs the pinned version)"
+fi
+
+if [ "$status" -ne 0 ]; then
+  echo "lint: FAIL" >&2
+else
+  echo "lint: ok"
+fi
+exit $status

@@ -114,7 +114,9 @@ func TestSecureContextFacade(t *testing.T) {
 	if err := ctx.WriteTensor(ten.ID, make([]byte, 64)); err != nil {
 		t.Fatal(err)
 	}
-	ctx.Memory().Corrupt(ten.Addr, 0)
+	if err := ctx.Memory().Corrupt(ten.Addr, 0); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := ctx.ReadTensor(ten.ID); !errors.Is(err, secmem.ErrIntegrity) {
 		t.Fatalf("tamper undetected through facade: %v", err)
 	}
