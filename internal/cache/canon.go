@@ -1,0 +1,57 @@
+package cache
+
+import (
+	"fmt"
+
+	"tnpu/internal/canon"
+)
+
+// AppendCanon appends the cache's full behavioural state — geometry header
+// plus every resident line with its dirty bit, in MRU→LRU order per set —
+// to dst. Two caches with equal canon bytes behave identically under every
+// future access sequence (see DESIGN.md §6e). Statistics are accumulators
+// and are handled separately by AppendAccum/AddAccum.
+func (c *Cache) AppendCanon(dst []byte) []byte {
+	dst = canon.AppendU64(dst, uint64(c.sets))
+	dst = canon.AppendU64(dst, uint64(c.ways))
+	dst = canon.AppendU64(dst, c.lineBytes)
+	for s := range c.lines {
+		set := c.lines[s]
+		dst = canon.AppendU64(dst, uint64(len(set)))
+		for _, l := range set {
+			v := l.tag << 1
+			if l.dirty {
+				v |= 1
+			}
+			dst = canon.AppendU64(dst, v)
+		}
+	}
+	return dst
+}
+
+// RestoreCanon rebuilds the cache's behavioural state from an AppendCanon
+// blob and returns the remaining bytes. The receiver's geometry must match
+// the blob's header; set slices are reused so a restore allocates nothing
+// in steady state. Statistics are left untouched.
+func (c *Cache) RestoreCanon(src []byte) []byte {
+	var sets, ways, lineBytes uint64
+	sets, src = canon.U64(src)
+	ways, src = canon.U64(src)
+	lineBytes, src = canon.U64(src)
+	if int(sets) != c.sets || int(ways) != c.ways || lineBytes != c.lineBytes {
+		panic(fmt.Sprintf("cache %s: canon geometry %dx%dx%d does not match %dx%dx%d",
+			c.name, sets, ways, lineBytes, c.sets, c.ways, c.lineBytes))
+	}
+	for s := range c.lines {
+		var n uint64
+		n, src = canon.U64(src)
+		set := c.lines[s][:0]
+		for i := uint64(0); i < n; i++ {
+			var v uint64
+			v, src = canon.U64(src)
+			set = append(set, line{valid: true, dirty: v&1 != 0, tag: v >> 1})
+		}
+		c.lines[s] = set
+	}
+	return src
+}

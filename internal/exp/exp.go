@@ -58,39 +58,98 @@ func Classes() []Class { return []Class{Small, Large} }
 // run is byte-identical to a sequential one.
 type Runner struct {
 	// Models restricts the workload set (defaults to all 14; tests use
-	// subsets).
+	// subsets). Must be set before the first figure/sweep call: the
+	// runner freezes its configuration at first use and panics on a
+	// later mutation.
 	Models []string
 
 	// Schemes restricts which protection schemes the performance
 	// artifacts simulate (nil or empty = all). Unsecure runs that serve
 	// only as the normalization denominator are not filtered; disabling
 	// a measured scheme drops its series (and any headline metric that
-	// needs it) entirely. Must be set before the first figure/sweep call.
+	// needs it) entirely. Must be set before the first figure/sweep call
+	// (enforced like Models).
 	Schemes []memprot.Scheme
 
 	// Workers bounds how many simulation cells run concurrently.
 	// 0 means runtime.GOMAXPROCS(0); 1 forces sequential evaluation.
-	// Must be set before the first figure/sweep call.
+	// Must be set before the first figure/sweep call (enforced like
+	// Models).
 	Workers int
 
 	// Progress, when non-nil, receives one line per completed cell
-	// (typically os.Stderr). Must be set before the first call.
+	// (typically os.Stderr). Must be set before the first call
+	// (enforced like Models).
 	Progress io.Writer
 
-	mu         sync.Mutex
-	progs      map[progKey]*cell[*compiler.Program]
-	runs       map[runKey]*cell[multinpu.Result]
-	e2es       map[e2eKey]*cell[e2e.Result]
-	attacks    map[attackKey]*cell[*attack.Report]
-	sweepProgs map[sweepProgKey]*cell[*compiler.Program]
-	sweepRuns  map[sweepRunKey]*cell[uint64]
+	mu      sync.Mutex
+	progs   map[progKey]*cell[*compiler.Program]
+	runs    map[runKey]*cell[multinpu.Result]
+	e2es    map[e2eKey]*cell[e2e.Result]
+	attacks map[attackKey]*cell[*attack.Report]
+
+	sweepRuns map[sweepRunKey]*cell[uint64]
+
+	// memo replays recurring (layer, state-signature) executions across
+	// cells: sweep points, NPU counts, and classes re-run the same layers
+	// from identical engine states far more often than not. Shared by
+	// every single-NPU machine the runner builds; safe under the worker
+	// pool.
+	memo *npu.LayerMemo
+
+	freezeOnce sync.Once
+	frozen     frozenConfig
 
 	log RunLog
 }
 
+// frozenConfig snapshots the runner's public knobs at first use so later
+// mutations — which would silently skew already-memoized cells — fail fast.
+type frozenConfig struct {
+	models   []string
+	schemes  []memprot.Scheme
+	workers  int
+	progress io.Writer
+}
+
+// freeze captures Models/Schemes/Workers/Progress at the runner's first
+// computation and panics if any of them changed afterwards — the
+// documented "must be set before the first figure/sweep call" contract,
+// enforced instead of trusted.
+func (r *Runner) freeze() {
+	r.freezeOnce.Do(func() {
+		r.frozen = frozenConfig{
+			models:   append([]string(nil), r.Models...),
+			schemes:  append([]memprot.Scheme(nil), r.Schemes...),
+			workers:  r.Workers,
+			progress: r.Progress,
+		}
+	})
+	f := &r.frozen
+	changed := len(r.Models) != len(f.models) || len(r.Schemes) != len(f.schemes) ||
+		r.Workers != f.workers || r.Progress != f.progress
+	for i := 0; !changed && i < len(f.models); i++ {
+		changed = r.Models[i] != f.models[i]
+	}
+	for i := 0; !changed && i < len(f.schemes); i++ {
+		changed = r.Schemes[i] != f.schemes[i]
+	}
+	if changed {
+		panic("exp: Runner Models/Schemes/Workers/Progress mutated after first use; set them before the first figure/sweep call")
+	}
+}
+
+// progKey caches compiled programs per distinct compiler view. Figures
+// (fixed Table II classes) and sweeps (arbitrary configurations) share one
+// cache: the bandwidth and latency sweeps vary only bus parameters, so all
+// their points — and any figure cell with the same compiler view — share
+// one compiled program. Sharing the *compiler.Program pointer is also what
+// lets the layer memo replay across harness entry points: memo keys carry
+// program identity, so a figure run and a sweep point at the same
+// configuration replay each other's layers.
 type progKey struct {
 	short string
-	class Class
+	cfg   compiler.Config
 }
 
 type runKey struct {
@@ -117,6 +176,7 @@ type cell[V any] struct {
 // compute memoizes fn under k in m: exactly one caller runs fn, everyone
 // gets its result. Fresh computations are timed into the runner's RunLog.
 func compute[K comparable, V any](r *Runner, m map[K]*cell[V], k K, kind, label string, fn func() (V, error)) (V, error) {
+	r.freeze()
 	r.mu.Lock()
 	if c, ok := m[k]; ok {
 		r.mu.Unlock()
@@ -140,13 +200,13 @@ func NewRunner(models ...string) *Runner {
 		models = model.ShortNames()
 	}
 	return &Runner{
-		Models:     models,
-		progs:      make(map[progKey]*cell[*compiler.Program]),
-		runs:       make(map[runKey]*cell[multinpu.Result]),
-		e2es:       make(map[e2eKey]*cell[e2e.Result]),
-		attacks:    make(map[attackKey]*cell[*attack.Report]),
-		sweepProgs: make(map[sweepProgKey]*cell[*compiler.Program]),
-		sweepRuns:  make(map[sweepRunKey]*cell[uint64]),
+		Models:    models,
+		progs:     make(map[progKey]*cell[*compiler.Program]),
+		runs:      make(map[runKey]*cell[multinpu.Result]),
+		e2es:      make(map[e2eKey]*cell[e2e.Result]),
+		attacks:   make(map[attackKey]*cell[*attack.Report]),
+		sweepRuns: make(map[sweepRunKey]*cell[uint64]),
+		memo:      npu.NewLayerMemo(),
 	}
 }
 
@@ -213,15 +273,28 @@ func (r *Runner) ImprovementAvailable() bool {
 // completion counts, and compile-vs-simulate totals.
 func (r *Runner) Log() *RunLog { return &r.log }
 
+// MemoStats reports the shared layer memo's lookup outcomes — how many
+// layer executions replayed from cache versus ran live.
+func (r *Runner) MemoStats() (hits, misses uint64) {
+	return r.memo.Hits(), r.memo.Misses()
+}
+
 // Program compiles (once) a model for a class.
 func (r *Runner) Program(short string, class Class) (*compiler.Program, error) {
-	k := progKey{short, class}
-	return compute(r, r.progs, k, "compile", fmt.Sprintf("%s/%s", short, class), func() (*compiler.Program, error) {
+	return r.program(short, class.Config().CompilerConfig())
+}
+
+// program compiles (once) a model for an arbitrary compiler view — the
+// shared cache behind Program and the sweep points.
+func (r *Runner) program(short string, cfg compiler.Config) (*compiler.Program, error) {
+	k := progKey{short, cfg}
+	label := fmt.Sprintf("%s spm=%dKB", short, cfg.SPM.CapacityBytes>>10)
+	return compute(r, r.progs, k, "compile", label, func() (*compiler.Program, error) {
 		m, err := model.ByShort(short)
 		if err != nil {
 			return nil, err
 		}
-		return compiler.Compile(m, class.Config().CompilerConfig())
+		return compiler.Compile(m, cfg)
 	})
 }
 
@@ -234,7 +307,7 @@ func (r *Runner) Run(short string, class Class, scheme memprot.Scheme, count int
 		if err != nil {
 			return multinpu.Result{}, err
 		}
-		res, err := multinpu.Run(p, scheme, class.Config(), count)
+		res, err := multinpu.RunMemo(p, scheme, class.Config(), count, r.memo)
 		if err != nil {
 			return multinpu.Result{}, fmt.Errorf("exp: %s/%s/%s x%d: %w", short, class, scheme, count, err)
 		}
@@ -264,6 +337,9 @@ func (r *Runner) normalized(short string, class Class, scheme memprot.Scheme, co
 	v, err := r.Run(short, class, scheme, count)
 	if err != nil {
 		return 0, err
+	}
+	if base.Cycles == 0 {
+		return 0, fmt.Errorf("exp: %s/%s x%d: unsecure run took zero cycles, cannot normalize", short, class, count)
 	}
 	return float64(v.Cycles) / float64(base.Cycles), nil
 }

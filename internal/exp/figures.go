@@ -161,6 +161,9 @@ func (r *Runner) Figure15() (Figure, error) {
 				if err != nil {
 					return 0, err
 				}
+				if u.Traffic.Total() == 0 {
+					return 0, fmt.Errorf("exp: %s/%s: unsecure run moved zero bytes, cannot normalize traffic", short, class)
+				}
 				return float64(v.Traffic.Total()) / float64(u.Traffic.Total()), nil
 			})
 			if err != nil {
@@ -207,6 +210,9 @@ func (r *Runner) Figure17() (Figure, error) {
 				v, err := r.EndToEnd(short, class, scheme)
 				if err != nil {
 					return 0, err
+				}
+				if u.Total == 0 {
+					return 0, fmt.Errorf("exp: %s/%s: unsecure end-to-end run took zero cycles, cannot normalize", short, class)
 				}
 				return float64(v.Total) / float64(u.Total), nil
 			})
@@ -278,6 +284,9 @@ func (r *Runner) HardwareCost() hwcost.Summary {
 // execution time from baseline to TNPU at the given NPU count, per class
 // ("improves the performance of the baseline by X%").
 func (r *Runner) Improvement(class Class, count int) (float64, error) {
+	if len(r.Models) == 0 {
+		return 0, fmt.Errorf("exp: Improvement(%s, %d): runner has no models", class, count)
+	}
 	base := make([]float64, len(r.Models))
 	tnpu := make([]float64, len(r.Models))
 	err := r.forEach(len(r.Models), func(i int) error {
@@ -295,5 +304,9 @@ func (r *Runner) Improvement(class Class, count int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return 1 - stats.Mean(tnpu)/stats.Mean(base), nil
+	mb := stats.Mean(base)
+	if mb == 0 {
+		return 0, fmt.Errorf("exp: Improvement(%s, %d): baseline mean is zero", class, count)
+	}
+	return 1 - stats.Mean(tnpu)/mb, nil
 }

@@ -149,7 +149,7 @@ func TestSweepReusesCompiledProgram(t *testing.T) {
 	if _, err := r.LatencySweep("df"); err != nil {
 		t.Fatal(err)
 	}
-	if got := len(r.sweepProgs); got != 1 {
+	if got := len(r.progs); got != 1 {
 		t.Errorf("bandwidth+latency sweeps compiled %d programs, want 1", got)
 	}
 	if _, err := r.SPMSweep("df"); err != nil {
@@ -157,7 +157,7 @@ func TestSweepReusesCompiledProgram(t *testing.T) {
 	}
 	// 128/256/1024/2048KB are new compiler views; 480KB is the Small
 	// default already compiled.
-	if got := len(r.sweepProgs); got != 5 {
+	if got := len(r.progs); got != 5 {
 		t.Errorf("after SPM sweep %d compiled programs, want 5", got)
 	}
 	// The three sweeps share the Small-default point (1x BW, 100-cycle

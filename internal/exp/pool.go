@@ -34,6 +34,7 @@ func (r *Runner) workers() int {
 // output order never depends on goroutine scheduling. The returned error
 // is the lowest-index failure — the same one a sequential loop surfaces.
 func (r *Runner) forEach(n int, fn func(i int) error) error {
+	r.freeze()
 	w := r.workers()
 	if w > n {
 		w = n

@@ -43,41 +43,20 @@ type sweepPoint struct {
 	cfg   npu.Config
 }
 
-// sweepProgKey caches compiled programs per distinct compiler view: the
-// bandwidth and latency sweeps vary only bus parameters, so all their
-// points share one compiled program instead of recompiling per point.
-type sweepProgKey struct {
-	short string
-	cfg   compiler.Config
-}
-
 type sweepRunKey struct {
 	short  string
 	cfg    npu.Config
 	scheme memprot.Scheme
 }
 
-// sweepProgram compiles (once) a model for an arbitrary compiler config —
-// the sweep-side analogue of Program.
-func (r *Runner) sweepProgram(short string, cfg compiler.Config) (*compiler.Program, error) {
-	k := sweepProgKey{short, cfg}
-	label := fmt.Sprintf("%s/sweep spm=%dKB", short, cfg.SPM.CapacityBytes>>10)
-	return compute(r, r.sweepProgs, k, "compile", label, func() (*compiler.Program, error) {
-		m, err := model.ByShort(short)
-		if err != nil {
-			return nil, err
-		}
-		return compiler.Compile(m, cfg)
-	})
-}
-
 // runPoint simulates (once) one (config, scheme) sweep cell, reusing the
-// compiled program for the point's compiler config.
+// compiled program for the point's compiler config (shared with Program's
+// figure cells, so the layer memo replays across figures and sweeps).
 func (r *Runner) runPoint(short string, cfg npu.Config, scheme memprot.Scheme) (uint64, error) {
 	k := sweepRunKey{short, cfg, scheme}
 	label := fmt.Sprintf("%s/sweep/%s", short, scheme)
 	return compute(r, r.sweepRuns, k, "simulate", label, func() (uint64, error) {
-		prog, err := r.sweepProgram(short, cfg.CompilerConfig())
+		prog, err := r.program(short, cfg.CompilerConfig())
 		if err != nil {
 			return 0, err
 		}
@@ -87,7 +66,7 @@ func (r *Runner) runPoint(short string, cfg npu.Config, scheme memprot.Scheme) (
 			return 0, err
 		}
 		mach := npu.NewMachine(prog, eng)
-		mach.Run()
+		mach.RunMemoized(r.memo)
 		return mach.Cycles(), nil
 	})
 }
@@ -113,6 +92,9 @@ func (r *Runner) sweepOver(name, short string, points []sweepPoint) (Sweep, erro
 	}
 	for i, p := range points {
 		u, b, tl := cycles[i*3], cycles[i*3+1], cycles[i*3+2]
+		if u == 0 {
+			return Sweep{Name: name, Model: short}, fmt.Errorf("exp: sweep %q point %q: unsecure run took zero cycles, cannot normalize", name, p.label)
+		}
 		s.Points[i] = SweepPoint{
 			Label:    p.label,
 			Baseline: float64(b) / float64(u),

@@ -35,9 +35,22 @@ type baseline struct {
 	minors    map[uint64]*[integrity.Arity]uint8
 	Overflows uint64
 
-	// cur is the streak charge cursor (see streak.go), engine-owned so the
-	// batched hot path allocates nothing.
-	cur dram.RunCursor
+	// Layer-memoization bookkeeping (canon.go): minorsDig is the 128-bit
+	// wrapping-sum digest standing in for the minors map inside layer
+	// canons, and touched/touchedLi journal the counter lines mutated in
+	// the current layer for O(touched) post-state deltas. All three are
+	// maintained only once BeginLayer arms memoOn, so un-memoized runs pay
+	// a predicted-not-taken branch per counter-line touch and nothing more.
+	memoOn    bool
+	minorsDig [2]uint64
+	touched   map[uint64]struct{}
+	touchedLi []uint64
+
+	// cur is the streak charge cursor and sweep the MAC-line range
+	// resolver (see streak.go), engine-owned so the batched hot path
+	// allocates nothing.
+	cur   dram.SpanCursor
+	sweep cache.Sweep
 }
 
 func newBaseline(cfg Config) *baseline {
@@ -62,10 +75,13 @@ func (b *baseline) bumpMinor(ready, addr uint64) {
 		line = new([integrity.Arity]uint8)
 		b.minors[lineIdx] = line
 	}
+	b.minorMark(lineIdx)
+	b.minorDigAdd(lineIdx, slot, 1)
 	line[slot]++
 	if line[slot] < 1<<7 {
 		return
 	}
+	b.minorDigReset(lineIdx, line)
 	*line = [integrity.Arity]uint8{}
 	b.Overflows++
 	burst := uint64(integrity.Arity) * 2 * dram.BlockBytes

@@ -143,12 +143,22 @@ func (e *encryptOnly) WriteRun(ready, addr, version uint64, n int, w *dram.Issue
 
 // ReadRun batches MAC-line streaks of the read run. //tnpu:noalloc
 func (t *treeless) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
-	if n >= streakMinBlocks && t.cfg.Bus.BeginRun(&t.cur, w, ready, 3*n+16) {
+	if n >= streakMinBlocks && t.cfg.Bus.BeginSpanRun(&t.cur, w, ready, 3*n+16) {
 		return t.readStreak(ready, addr, n, w)
 	}
 	r := ready
 	lat := t.cfg.Bus.Latency()
 	for i := 0; i < n; {
+		// A rejected run usually failed on a remembered idle gap; gaps are
+		// consumed (or overtaken) as the run's own blocks land, so retry
+		// the streak for the remaining lines.
+		if i > 0 && n-i >= streakMinBlocks && t.cfg.Bus.BeginSpanRun(&t.cur, w, r, 3*(n-i)+16) {
+			nr, d := t.readStreak(r, addr+uint64(i)*dram.BlockBytes, n-i, w)
+			if d > maxDataAt {
+				maxDataAt = d
+			}
+			return nr, maxDataAt
+		}
 		a := addr + uint64(i)*dram.BlockBytes
 		m := macRunLen(a, t.cfg.MACSlotBytes)
 		if m > n-i {
@@ -181,11 +191,19 @@ func (t *treeless) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWind
 
 // WriteRun batches MAC-line streaks of the write run. //tnpu:noalloc
 func (t *treeless) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
-	if n >= streakMinBlocks && t.cfg.Bus.BeginRun(&t.cur, w, ready, 3*n+16) {
+	if n >= streakMinBlocks && t.cfg.Bus.BeginSpanRun(&t.cur, w, ready, 3*n+16) {
 		return t.writeStreak(ready, addr, n, w)
 	}
 	r := ready
 	for i := 0; i < n; {
+		// See ReadRun: retry the streak once the rejecting gap is behind.
+		if i > 0 && n-i >= streakMinBlocks && t.cfg.Bus.BeginSpanRun(&t.cur, w, r, 3*(n-i)+16) {
+			nr, d := t.writeStreak(r, addr+uint64(i)*dram.BlockBytes, n-i, w)
+			if d > maxDataAt {
+				maxDataAt = d
+			}
+			return nr, maxDataAt
+		}
 		a := addr + uint64(i)*dram.BlockBytes
 		m := macRunLen(a, t.cfg.MACSlotBytes)
 		if m > n-i {
@@ -231,8 +249,18 @@ func (b *baseline) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWind
 	nextCtr, nextMac := 0, 0
 	var ctrCount, macCount uint64
 	cur := &b.cur
-	inStreak := n >= streakMinBlocks && b.cfg.Bus.BeginRun(cur, w, r, 5*n+16)
+	inStreak := n >= streakMinBlocks && b.cfg.Bus.BeginSpanRun(cur, w, r, 5*n+16)
+	macSwept := inStreak && b.beginMacSweep(addr, 0, n, false)
+	sweepLi := 0 // MAC-line outcomes consumed from the active sweep
 	pending := 0 // deferred data blocks awaiting one streak span charge
+	// Chunk-stretch collapse is valid when the MAC slot tiles the line and
+	// counter boundaries land on chunk starts (see chunkStretch).
+	mFull := 0
+	if dram.BlockBytes%b.cfg.MACSlotBytes == 0 {
+		if m := int(dram.BlockBytes / b.cfg.MACSlotBytes); arity%uint64(m) == 0 {
+			mFull = m
+		}
+	}
 	for i := 0; i < n; {
 		a := addr + uint64(i)*dram.BlockBytes
 		blockIdx := a / dram.BlockBytes
@@ -252,10 +280,15 @@ func (b *baseline) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWind
 		if inStreak && isCtr && !b.ctrSimple(a, r) {
 			// A counter access the closed form cannot serve (multi-level
 			// walk, busy MSHRs, prefetch fill, or an unsafe eviction
-			// cascade): flush the pending span, commit, and fall back to the
-			// reference path for this chunk — no state was touched yet.
+			// cascade): flush the pending span, commit the consumed sweep
+			// prefix, and fall back to the reference path for this chunk —
+			// no state was touched yet.
+			if macSwept {
+				b.sweep.CommitPrefix(sweepLi)
+				macSwept = false
+			}
 			if pending > 0 {
-				lastFree, lastIssue, nr := cur.ChargeDataSpan(w, r, pending)
+				lastFree, lastIssue, nr := cur.Data(r, pending)
 				r = nr
 				if d := max64(lastFree+lat, lastIssue+b.cfg.OTPCycles) + b.cfg.XORCycles + b.cfg.MACCycles; d > maxDataAt {
 					maxDataAt = d
@@ -265,11 +298,68 @@ func (b *baseline) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWind
 			cur.Commit()
 			inStreak = false
 		}
+		if inStreak && macSwept && mFull > 0 && isMac && pending == mFull-1 && chunkEnd == i+mFull &&
+			b.ctrStretchEntryOK(blockIdx, isCtr) {
+			// Stretch of full chunks in one MAC outcome class with resident
+			// counters: every chunk charges [span(mFull), MAC metadata] with
+			// the counter access free, so the whole stretch is one periodic
+			// span (or one plain span when the class is hit). Arrival, issue,
+			// and MAC-fetch terms all grow per chunk, so the final chunk
+			// dominates the stretch's dataAt.
+			out0 := b.sweep.Outcome(sweepLi)
+			if p := b.chunkStretch(addr, i, n, sweepLi, mFull, out0, false); p >= 2 {
+				trail := 0
+				if out0.Writeback {
+					trail++
+				}
+				if !out0.Hit {
+					trail++
+				}
+				var lastFree, lastIssue, nr uint64
+				ok := true
+				if trail == 0 {
+					lastFree, lastIssue, nr = cur.Data(r, p*mFull)
+				} else {
+					lastFree, lastIssue, nr, ok = cur.DataPeriodic(r, p, mFull, 0, trail)
+				}
+				if ok {
+					b.traffic.AddRead(stats.Data, uint64(p*mFull)*dram.BlockBytes)
+					if out0.Writeback {
+						b.traffic.AddWrite(stats.MAC, uint64(p)*dram.BlockBytes)
+					}
+					macAt := lastIssue
+					if !out0.Hit {
+						b.traffic.AddRead(stats.MAC, uint64(p)*dram.BlockBytes)
+						// The fetch is each period's last charge, so the final
+						// macAt is the horizon plus the bus latency.
+						macAt = cur.Horizon() + lat
+					}
+					b.mac.AddRunHits(uint64(p) * uint64(mFull-1))
+					if isCtr && blockIdx%arity != 0 {
+						b.ctrPartialHit(blockIdx, ctrCount, false)
+					}
+					b.ctrStretchHits(addr, i, p, mFull, n, false)
+					dataAt := max64(lastFree+lat, lastIssue+b.cfg.OTPCycles)
+					dataAt = max64(dataAt+b.cfg.XORCycles, macAt) + b.cfg.MACCycles
+					if dataAt > maxDataAt {
+						maxDataAt = dataAt
+					}
+					r = nr
+					sweepLi += p
+					i += p * mFull
+					nextMac = i
+					for nextCtr < i {
+						nextCtr += int(arity)
+					}
+					continue
+				}
+			}
+		}
 		if inStreak {
 			// Streak chunk: ReadBlock's charge order is data first, so the
 			// pending span plus this boundary flush before the metadata.
 			b.traffic.AddRead(stats.Data, uint64(chunkEnd-i)*dram.BlockBytes)
-			lastFree, lastIssue, nr := cur.ChargeDataSpan(w, r, pending+1)
+			lastFree, lastIssue, nr := cur.Data(r, pending+1)
 			r = nr
 			counterAt := lastIssue
 			if isCtr {
@@ -277,7 +367,12 @@ func (b *baseline) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWind
 			}
 			macAt := lastIssue
 			if isMac {
-				macAt = b.macStreakAccess(cur, lastIssue, a, macCount, false)
+				if macSwept {
+					macAt = b.macSweepAccess(cur, lastIssue, macCount, b.sweep.Outcome(sweepLi), false)
+					sweepLi++
+				} else {
+					macAt = b.macStreakAccess(cur, lastIssue, a, macCount, false)
+				}
 			}
 			dataAt := max64(lastFree+lat, counterAt+b.cfg.OTPCycles)
 			dataAt = max64(dataAt+b.cfg.XORCycles, macAt) + b.cfg.MACCycles
@@ -321,11 +416,18 @@ func (b *baseline) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWind
 		}
 		i = chunkEnd
 		// Rejoin the streak for the remaining chunks when possible.
-		inStreak = n-i >= streakMinBlocks && b.cfg.Bus.BeginRun(cur, w, r, 5*(n-i)+16)
+		inStreak = n-i >= streakMinBlocks && b.cfg.Bus.BeginSpanRun(cur, w, r, 5*(n-i)+16)
+		if inStreak {
+			macSwept = b.beginMacSweep(addr, nextMac, n, false)
+			sweepLi = 0
+		}
 	}
 	if inStreak {
+		if macSwept {
+			b.sweep.CommitPrefix(sweepLi)
+		}
 		if pending > 0 {
-			lastFree, lastIssue, nr := cur.ChargeDataSpan(w, r, pending)
+			lastFree, lastIssue, nr := cur.Data(r, pending)
 			r = nr
 			if d := max64(lastFree+lat, lastIssue+b.cfg.OTPCycles) + b.cfg.XORCycles + b.cfg.MACCycles; d > maxDataAt {
 				maxDataAt = d
@@ -351,8 +453,17 @@ func (b *baseline) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWin
 	var ctrCount, macCount uint64
 	var minorLine *[integrity.Arity]uint8
 	cur := &b.cur
-	inStreak := n >= streakMinBlocks && b.cfg.Bus.BeginRun(cur, w, r, 5*n+16)
+	inStreak := n >= streakMinBlocks && b.cfg.Bus.BeginSpanRun(cur, w, r, 5*n+16)
+	macSwept := inStreak && b.beginMacSweep(addr, 0, n, true)
+	sweepLi := 0 // MAC-line outcomes consumed from the active sweep
 	pending := 0 // deferred data blocks awaiting one streak span charge
+	// Chunk-stretch collapse precondition; see ReadRun.
+	mFull := 0
+	if dram.BlockBytes%b.cfg.MACSlotBytes == 0 {
+		if m := int(dram.BlockBytes / b.cfg.MACSlotBytes); arity%uint64(m) == 0 {
+			mFull = m
+		}
+	}
 	for i := 0; i < n; {
 		a := addr + uint64(i)*dram.BlockBytes
 		blockIdx := a / dram.BlockBytes
@@ -372,8 +483,12 @@ func (b *baseline) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWin
 		lineIdx, slot := b.geo.CounterIndex(blockIdx)
 		if inStreak && isCtr && !b.ctrSimple(a, r) {
 			// See ReadRun: hand this chunk to the reference path untouched.
+			if macSwept {
+				b.sweep.CommitPrefix(sweepLi)
+				macSwept = false
+			}
 			if pending > 0 {
-				lastFree, _, nr := cur.ChargeDataSpan(w, r, pending)
+				lastFree, _, nr := cur.Data(r, pending)
 				r = nr
 				if lastFree > maxDataAt {
 					maxDataAt = lastFree
@@ -383,16 +498,93 @@ func (b *baseline) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWin
 			cur.Commit()
 			inStreak = false
 		}
+		if inStreak && macSwept && mFull > 0 && isMac && chunkEnd == i+mFull &&
+			b.ctrStretchEntryOK(blockIdx, isCtr) {
+			// Stretch of full chunks in one MAC outcome class with resident
+			// counters (see ReadRun): hit chunks charge nothing on the
+			// write-validated path and fold into the pending span; miss
+			// chunks each flush the deferred previous chunk and append the
+			// victim writeback and RMW fetch — one period DataPeriodic
+			// repeats when pending is exactly mFull.
+			out0 := b.sweep.Outcome(sweepLi)
+			if p := b.chunkStretch(addr, i, n, sweepLi, mFull, out0, true); p >= 2 {
+				if out0.Hit {
+					b.traffic.AddWrite(stats.Data, uint64(p*mFull)*dram.BlockBytes)
+					b.mac.AddRunHits(uint64(p) * uint64(mFull-1))
+					if isCtr && blockIdx%arity != 0 {
+						b.ctrPartialHit(blockIdx, ctrCount, true)
+					}
+					b.ctrStretchHits(addr, i, p, mFull, n, true)
+					b.minorStretchBump(addr, i, p*mFull)
+					pending += p * mFull
+					sweepLi += p
+					i += p * mFull
+					nextMac = i
+					for nextCtr < i {
+						nextCtr += int(arity)
+					}
+					// Keep minorLine current for a mid-line successor chunk.
+					li2, _ := b.geo.CounterIndex(addr/dram.BlockBytes + uint64(i))
+					minorLine = b.minors[li2]
+					continue
+				}
+				if pending == mFull {
+					trail := 1
+					if out0.Writeback {
+						trail = 2 // victim writeback precedes the RMW fetch
+					}
+					if lastFree, _, nr, ok := cur.DataPeriodic(r, p, mFull, 0, trail); ok {
+						b.traffic.AddWrite(stats.Data, uint64(p*mFull)*dram.BlockBytes)
+						b.traffic.AddRead(stats.MAC, uint64(p)*dram.BlockBytes)
+						if out0.Writeback {
+							b.traffic.AddWrite(stats.MAC, uint64(p)*dram.BlockBytes)
+						}
+						b.mac.AddRunHits(uint64(p) * uint64(mFull-1))
+						if isCtr && blockIdx%arity != 0 {
+							b.ctrPartialHit(blockIdx, ctrCount, true)
+						}
+						b.ctrStretchHits(addr, i, p, mFull, n, true)
+						b.minorStretchBump(addr, i, p*mFull)
+						if lastFree > maxDataAt {
+							maxDataAt = lastFree
+						}
+						r = nr
+						sweepLi += p
+						i += p * mFull
+						nextMac = i
+						for nextCtr < i {
+							nextCtr += int(arity)
+						}
+						// pending stays mFull: the final chunk's data is the
+						// deferred span the next flush charges.
+						li2, _ := b.geo.CounterIndex(addr/dram.BlockBytes + uint64(i))
+						minorLine = b.minors[li2]
+						continue
+					}
+				}
+			}
+		}
 		if inStreak {
 			// WriteBlock charges metadata before data, so a chunk whose
 			// lines are both resident (hence chargeless) folds straight into
 			// the pending span; otherwise the deferred data of earlier
 			// chunks lands first, then the metadata charges, then this
-			// chunk's data joins a fresh span.
-			clean := (!isCtr || b.counter.Probe(b.geo.NodeAddr(0, lineIdx))) &&
-				(!isMac || b.mac.Probe(macLineAddr(a, b.cfg.MACSlotBytes)))
+			// chunk's data joins a fresh span. With an active sweep the MAC
+			// residency question is answered by the outcome (the cache
+			// itself is stale until CommitPrefix).
+			var macRes cache.Result
+			macHit := true
+			if isMac {
+				if macSwept {
+					macRes = b.sweep.Outcome(sweepLi)
+					macHit = macRes.Hit
+				} else {
+					macHit = b.mac.Probe(macLineAddr(a, b.cfg.MACSlotBytes))
+				}
+			}
+			clean := (!isCtr || b.counter.Probe(b.geo.NodeAddr(0, lineIdx))) && macHit
 			if !clean && pending > 0 {
-				lastFree, _, nr := cur.ChargeDataSpan(w, r, pending)
+				lastFree, _, nr := cur.Data(r, pending)
 				r = nr
 				if lastFree > maxDataAt {
 					maxDataAt = lastFree
@@ -417,12 +609,23 @@ func (b *baseline) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWin
 					minorLine = new([integrity.Arity]uint8) //tnpu:allocok
 					b.minors[lineIdx] = minorLine
 				}
+				b.minorMark(lineIdx)
 			}
+			b.minorDigAdd(lineIdx, slot, chunkEnd-i)
 			for k := 0; k < chunkEnd-i; k++ {
 				minorLine[slot+k]++
 			}
 			if isMac {
-				if clean {
+				if macSwept {
+					if clean {
+						// Hit: CommitPrefix applies the lookup, promotion,
+						// and dirtying of the sweep's write access.
+						b.mac.AddRunHits(macCount - 1)
+					} else {
+						b.macSweepAccess(cur, r, macCount, macRes, true)
+					}
+					sweepLi++
+				} else if clean {
 					b.mac.Access(macLineAddr(a, b.cfg.MACSlotBytes), true)
 					b.mac.AddRunHits(macCount - 1)
 				} else {
@@ -446,7 +649,9 @@ func (b *baseline) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWin
 				minorLine = new([integrity.Arity]uint8) //tnpu:allocok
 				b.minors[lineIdx] = minorLine
 			}
+			b.minorMark(lineIdx)
 		}
+		b.minorDigAdd(lineIdx, slot, 1)
 		minorLine[slot]++
 		if isMac {
 			macAccessRun(b.mac, &b.cfg, &b.traffic, r, a, macCount, true, false)
@@ -460,6 +665,7 @@ func (b *baseline) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWin
 		// Covered blocks: cache hits and overflow-free minor bumps; the
 		// write path completes at each block's bus-clear time.
 		if pure := chunkEnd - (i + 1); pure > 0 {
+			b.minorDigAdd(lineIdx, slot+1, pure)
 			for k := 1; k <= pure; k++ {
 				minorLine[slot+k]++
 			}
@@ -472,11 +678,18 @@ func (b *baseline) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWin
 		}
 		i = chunkEnd
 		// Rejoin the streak for the remaining chunks when possible.
-		inStreak = n-i >= streakMinBlocks && b.cfg.Bus.BeginRun(cur, w, r, 5*(n-i)+16)
+		inStreak = n-i >= streakMinBlocks && b.cfg.Bus.BeginSpanRun(cur, w, r, 5*(n-i)+16)
+		if inStreak {
+			macSwept = b.beginMacSweep(addr, nextMac, n, true)
+			sweepLi = 0
+		}
 	}
 	if inStreak {
+		if macSwept {
+			b.sweep.CommitPrefix(sweepLi)
+		}
 		if pending > 0 {
-			lastFree, _, nr := cur.ChargeDataSpan(w, r, pending)
+			lastFree, _, nr := cur.Data(r, pending)
 			r = nr
 			if lastFree > maxDataAt {
 				maxDataAt = lastFree

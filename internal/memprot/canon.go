@@ -1,0 +1,404 @@
+package memprot
+
+import (
+	"fmt"
+
+	"tnpu/internal/canon"
+	"tnpu/internal/integrity"
+)
+
+// This file implements layer-signature canonicalization for the four
+// protection engines (DESIGN.md §6e). A canon blob captures everything that
+// influences the engine's future behaviour — cache tags/dirty bits/LRU
+// order, bus horizons and gaps, tree-walk MSHR times, minor-counter
+// contents — relative to a time base, so a layer executed once can be
+// replayed in O(1) whenever the same (program layer, engine state) pair
+// recurs. Monotone accumulators (traffic, cache statistics, overflow
+// counts, bus byte/cycle totals) are kept out of the behavioural canon and
+// transported as wrapping deltas instead.
+
+// LayerState is implemented by engines that support layer memoization.
+// Blob layouts are private to each engine; callers only concatenate and
+// compare them. All times inside canon blobs are encoded relative to the
+// caller's base with wrapping subtraction (the models are time-shift
+// invariant).
+type LayerState interface {
+	// BeginLayer marks a layer boundary: it arms memoization bookkeeping
+	// (which must happen before the engine has served any traffic) and
+	// resets the per-layer delta journal.
+	BeginLayer()
+	// AppendCanon appends the engine's behavioural state to dst.
+	AppendCanon(dst []byte, base uint64) []byte
+	// RestoreCanon rebuilds behavioural state from an AppendCanon blob,
+	// returning the remaining bytes. Configuration must match the blob's.
+	RestoreCanon(src []byte, base uint64) []byte
+	// AppendAccum appends the engine's monotone accumulators.
+	AppendAccum(dst []byte) []byte
+	// AddAccum adds an accumulator delta blob (the wrapping difference of
+	// two AppendAccum snapshots) into the engine's counters.
+	AddAccum(src []byte) []byte
+	// AppendDelta appends the layer's journaled state delta — content an
+	// O(full-state) RestoreCanon would be too slow to carry (the baseline
+	// minors map). Engines without such state append nothing.
+	AppendDelta(dst []byte) []byte
+	// ApplyDelta applies an AppendDelta blob recorded at the end of a
+	// layer whose pre-state matched this engine's.
+	ApplyDelta(src []byte) []byte
+}
+
+// sig returns an FNV-1a digest over every scalar protection parameter.
+// Layer canons start with it so memo entries recorded under one
+// configuration can never match an engine built from another — sweeps
+// share compiled programs across configurations, making this the only
+// thing separating their layer-0 keys.
+func (c *Config) sig() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(c.DRAMBytes)
+	mix(c.FullyProtectedBytes)
+	mix(uint64(c.CounterCacheBytes))
+	mix(uint64(c.HashCacheBytes))
+	mix(uint64(c.MACCacheBytes))
+	mix(uint64(c.CacheWays))
+	mix(c.OTPCycles)
+	mix(c.XORCycles)
+	mix(c.XTSCycles)
+	mix(c.MACCycles)
+	mix(c.TreeArity)
+	mix(uint64(c.WalkMSHRs))
+	if c.CounterPrefetch {
+		mix(1)
+	} else {
+		mix(0)
+	}
+	mix(c.MACSlotBytes)
+	return h
+}
+
+// checkHeader consumes and verifies the scheme/config prefix every engine
+// canon starts with.
+func checkHeader(src []byte, scheme Scheme, sig uint64) []byte {
+	s, src := canon.U64(src)
+	g, src := canon.U64(src)
+	if Scheme(s) != scheme || g != sig {
+		panic(fmt.Sprintf("memprot: canon for scheme %v (cfg %#x) restored into %v (cfg %#x)",
+			Scheme(s), g, scheme, sig))
+	}
+	return src
+}
+
+// --- unsecure ---
+
+func (u *unsecure) BeginLayer() {}
+
+func (u *unsecure) AppendCanon(dst []byte, base uint64) []byte {
+	dst = canon.AppendU64(dst, uint64(Unsecure))
+	dst = canon.AppendU64(dst, u.cfg.sig())
+	return u.cfg.Bus.AppendCanon(dst, base)
+}
+
+func (u *unsecure) RestoreCanon(src []byte, base uint64) []byte {
+	src = checkHeader(src, Unsecure, u.cfg.sig())
+	return u.cfg.Bus.RestoreCanon(src, base)
+}
+
+func (u *unsecure) AppendAccum(dst []byte) []byte {
+	dst = u.traffic.AppendAccum(dst)
+	return u.cfg.Bus.AppendAccum(dst)
+}
+
+func (u *unsecure) AddAccum(src []byte) []byte {
+	src = u.traffic.AddAccum(src)
+	return u.cfg.Bus.AddAccum(src)
+}
+
+func (u *unsecure) AppendDelta(dst []byte) []byte { return dst }
+func (u *unsecure) ApplyDelta(src []byte) []byte  { return src }
+
+// --- encryptOnly ---
+
+func (e *encryptOnly) BeginLayer() {}
+
+func (e *encryptOnly) AppendCanon(dst []byte, base uint64) []byte {
+	dst = canon.AppendU64(dst, uint64(EncryptOnly))
+	dst = canon.AppendU64(dst, e.cfg.sig())
+	return e.cfg.Bus.AppendCanon(dst, base)
+}
+
+func (e *encryptOnly) RestoreCanon(src []byte, base uint64) []byte {
+	src = checkHeader(src, EncryptOnly, e.cfg.sig())
+	return e.cfg.Bus.RestoreCanon(src, base)
+}
+
+func (e *encryptOnly) AppendAccum(dst []byte) []byte {
+	dst = e.traffic.AppendAccum(dst)
+	return e.cfg.Bus.AppendAccum(dst)
+}
+
+func (e *encryptOnly) AddAccum(src []byte) []byte {
+	src = e.traffic.AddAccum(src)
+	return e.cfg.Bus.AddAccum(src)
+}
+
+func (e *encryptOnly) AppendDelta(dst []byte) []byte { return dst }
+func (e *encryptOnly) ApplyDelta(src []byte) []byte  { return src }
+
+// --- treeless ---
+
+func (t *treeless) BeginLayer() {}
+
+func (t *treeless) AppendCanon(dst []byte, base uint64) []byte {
+	dst = canon.AppendU64(dst, uint64(TreeLess))
+	dst = canon.AppendU64(dst, t.cfg.sig())
+	dst = t.mac.AppendCanon(dst)
+	dst = t.vcache.AppendCanon(dst)
+	dst = t.fpCounter.AppendCanon(dst)
+	dst = t.fpHash.AppendCanon(dst)
+	return t.cfg.Bus.AppendCanon(dst, base)
+}
+
+func (t *treeless) RestoreCanon(src []byte, base uint64) []byte {
+	src = checkHeader(src, TreeLess, t.cfg.sig())
+	src = t.mac.RestoreCanon(src)
+	src = t.vcache.RestoreCanon(src)
+	src = t.fpCounter.RestoreCanon(src)
+	src = t.fpHash.RestoreCanon(src)
+	return t.cfg.Bus.RestoreCanon(src, base)
+}
+
+func (t *treeless) AppendAccum(dst []byte) []byte {
+	dst = t.traffic.AppendAccum(dst)
+	dst = t.mac.Stats().AppendAccum(dst)
+	dst = t.vcache.Stats().AppendAccum(dst)
+	dst = t.fpCounter.Stats().AppendAccum(dst)
+	dst = t.fpHash.Stats().AppendAccum(dst)
+	return t.cfg.Bus.AppendAccum(dst)
+}
+
+func (t *treeless) AddAccum(src []byte) []byte {
+	src = t.traffic.AddAccum(src)
+	src = t.mac.Stats().AddAccum(src)
+	src = t.vcache.Stats().AddAccum(src)
+	src = t.fpCounter.Stats().AddAccum(src)
+	src = t.fpHash.Stats().AddAccum(src)
+	return t.cfg.Bus.AddAccum(src)
+}
+
+func (t *treeless) AppendDelta(dst []byte) []byte { return dst }
+func (t *treeless) ApplyDelta(src []byte) []byte  { return src }
+
+// --- baseline ---
+
+// The baseline's minors map is the one piece of behavioural state too
+// large to serialize at every layer boundary (thousands of touched counter
+// lines on large models). It is represented in the canon by a 128-bit
+// wrapping-sum digest maintained incrementally on every count transition,
+//
+//	dig = sum over nonzero (line, slot) of count * minorHash(line, slot),
+//
+// so an all-zero line contributes nothing — exactly matching its
+// behavioural equivalence to an absent line — and a single bump is one
+// hash-and-add. Restoring minors content on a memo hit uses the per-layer
+// journal of touched lines (AppendDelta/ApplyDelta) instead.
+
+// minorHash derives the two digest words contributed by one increment of
+// the minor counter at (lineIdx, slot). splitmix64 finalizer plus an
+// independent second mix; collisions require a nonzero integer combination
+// of these pairs to vanish mod 2^128.
+func minorHash(lineIdx uint64, slot int) (h1, h2 uint64) {
+	z := lineIdx*integrity.Arity + uint64(slot) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	h2 = (z ^ 0x6a09e667f3bcc909) * 0xff51afd7ed558ccd
+	h2 ^= h2 >> 33
+	return z, h2
+}
+
+// minorMark journals lineIdx as touched this layer. Called wherever a
+// minors line pointer is fetched for mutation; no-op unless memoized.
+func (b *baseline) minorMark(lineIdx uint64) {
+	if !b.memoOn {
+		return
+	}
+	if _, ok := b.touched[lineIdx]; !ok {
+		b.touched[lineIdx] = struct{}{}
+		b.touchedLi = append(b.touchedLi, lineIdx)
+	}
+}
+
+// minorDigAdd folds one increment of each of cnt consecutive slots into
+// the digest; no-op unless memoized.
+func (b *baseline) minorDigAdd(lineIdx uint64, slot, cnt int) {
+	if !b.memoOn {
+		return
+	}
+	for k := 0; k < cnt; k++ {
+		h1, h2 := minorHash(lineIdx, slot+k)
+		b.minorsDig[0] += h1
+		b.minorsDig[1] += h2
+	}
+}
+
+// minorDigReset removes a wrapping line's entire contents from the digest
+// just before the line is zeroed.
+func (b *baseline) minorDigReset(lineIdx uint64, line *[integrity.Arity]uint8) {
+	if !b.memoOn {
+		return
+	}
+	for s, c := range line {
+		if c == 0 {
+			continue
+		}
+		h1, h2 := minorHash(lineIdx, s)
+		b.minorsDig[0] -= uint64(c) * h1
+		b.minorsDig[1] -= uint64(c) * h2
+	}
+}
+
+// BeginLayer arms minors digest/journal maintenance and resets the layer
+// journal. The digest starts from the empty map, so arming an engine that
+// has already served writes would leave it permanently wrong — hence the
+// freshness check.
+func (b *baseline) BeginLayer() {
+	if !b.memoOn {
+		if len(b.minors) != 0 {
+			panic("memprot: layer memoization armed on an engine that already served writes")
+		}
+		b.memoOn = true
+		b.touched = make(map[uint64]struct{})
+	}
+	for _, li := range b.touchedLi {
+		delete(b.touched, li)
+	}
+	b.touchedLi = b.touchedLi[:0]
+}
+
+func (b *baseline) AppendCanon(dst []byte, base uint64) []byte {
+	dst = canon.AppendU64(dst, uint64(Baseline))
+	dst = canon.AppendU64(dst, b.cfg.sig())
+	dst = b.counter.AppendCanon(dst)
+	dst = b.hash.AppendCanon(dst)
+	dst = b.mac.AppendCanon(dst)
+	// The engine always claims the earliest-free walk MSHR, so the slots
+	// are a multiset: canonicalize sorted (the in-place reorder is
+	// behaviourally invisible for the same reason).
+	sortU64(b.walkFree)
+	dst = canon.AppendU64(dst, uint64(len(b.walkFree)))
+	for _, v := range b.walkFree {
+		dst = canon.AppendU64(dst, v-base)
+	}
+	dst = canon.AppendU64(dst, b.minorsDig[0])
+	dst = canon.AppendU64(dst, b.minorsDig[1])
+	return b.cfg.Bus.AppendCanon(dst, base)
+}
+
+func (b *baseline) RestoreCanon(src []byte, base uint64) []byte {
+	src = checkHeader(src, Baseline, b.cfg.sig())
+	src = b.counter.RestoreCanon(src)
+	src = b.hash.RestoreCanon(src)
+	src = b.mac.RestoreCanon(src)
+	var n uint64
+	n, src = canon.U64(src)
+	if int(n) != len(b.walkFree) {
+		panic(fmt.Sprintf("memprot: canon has %d walk MSHRs, engine has %d", n, len(b.walkFree)))
+	}
+	for i := range b.walkFree {
+		var v uint64
+		v, src = canon.U64(src)
+		b.walkFree[i] = v + base
+	}
+	b.minorsDig[0], src = canon.U64(src)
+	b.minorsDig[1], src = canon.U64(src)
+	return b.cfg.Bus.RestoreCanon(src, base)
+}
+
+func (b *baseline) AppendAccum(dst []byte) []byte {
+	dst = b.traffic.AppendAccum(dst)
+	dst = b.counter.Stats().AppendAccum(dst)
+	dst = b.hash.Stats().AppendAccum(dst)
+	dst = b.mac.Stats().AppendAccum(dst)
+	dst = canon.AppendU64(dst, b.Overflows)
+	return b.cfg.Bus.AppendAccum(dst)
+}
+
+func (b *baseline) AddAccum(src []byte) []byte {
+	src = b.traffic.AddAccum(src)
+	src = b.counter.Stats().AddAccum(src)
+	src = b.hash.Stats().AddAccum(src)
+	src = b.mac.Stats().AddAccum(src)
+	var v uint64
+	v, src = canon.U64(src)
+	b.Overflows += v
+	return b.cfg.Bus.AddAccum(src)
+}
+
+// AppendDelta records the layer's minors changes: the post digest and the
+// full contents of every counter line the journal saw touched, sorted for
+// determinism.
+func (b *baseline) AppendDelta(dst []byte) []byte {
+	dst = canon.AppendU64(dst, b.minorsDig[0])
+	dst = canon.AppendU64(dst, b.minorsDig[1])
+	sortU64(b.touchedLi)
+	dst = canon.AppendU64(dst, uint64(len(b.touchedLi)))
+	for _, li := range b.touchedLi {
+		dst = canon.AppendU64(dst, li)
+		line := b.minors[li]
+		for j := 0; j < integrity.Arity; j += 8 {
+			var w uint64
+			for k := 7; k >= 0; k-- {
+				w = w<<8 | uint64(line[j+k])
+			}
+			dst = canon.AppendU64(dst, w)
+		}
+	}
+	return dst
+}
+
+// ApplyDelta installs a recorded layer's minors changes. Valid only when
+// the engine's pre-layer state matched the recording's (the memo layer
+// guarantees it by exact canon comparison).
+func (b *baseline) ApplyDelta(src []byte) []byte {
+	b.minorsDig[0], src = canon.U64(src)
+	b.minorsDig[1], src = canon.U64(src)
+	var n uint64
+	n, src = canon.U64(src)
+	for i := uint64(0); i < n; i++ {
+		var li uint64
+		li, src = canon.U64(src)
+		line := b.minors[li]
+		if line == nil {
+			line = new([integrity.Arity]uint8)
+			b.minors[li] = line
+		}
+		for j := 0; j < integrity.Arity; j += 8 {
+			var w uint64
+			w, src = canon.U64(src)
+			for k := 0; k < 8; k++ {
+				line[j+k] = uint8(w)
+				w >>= 8
+			}
+		}
+	}
+	return src
+}
+
+// sortU64 is an allocation-free insertion sort for the short slices the
+// canons order (walk MSHRs, per-layer touched lines).
+func sortU64(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}

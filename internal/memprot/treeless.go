@@ -37,10 +37,13 @@ type treeless struct {
 	mac     *cache.Cache
 	traffic stats.Traffic
 
-	// Streak scratch state (see streak.go): the run cursor accumulates a
-	// whole run's bus charges, macOut is the reused MAC-line outcome
-	// buffer. Engine-owned so the batched hot path allocates nothing.
-	cur    dram.RunCursor
+	// Streak scratch state (see streak.go): the span cursor accumulates a
+	// whole run's bus charges with O(1)-per-span window bookkeeping, sweep
+	// resolves whole MAC-line ranges in closed form, and macOut is the
+	// reused per-line outcome buffer for the mixed fallback. Engine-owned
+	// so the batched hot path allocates nothing.
+	cur    dram.SpanCursor
+	sweep  cache.Sweep
 	macOut []cache.Result
 
 	// Version-table path: the table is CPU-enclave data, so accesses hit

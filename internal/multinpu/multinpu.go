@@ -40,6 +40,14 @@ type Result struct {
 // Run executes count copies of prog (the paper runs the same inference
 // model on every NPU) under one shared bus and protection engine.
 func Run(prog *compiler.Program, scheme memprot.Scheme, cfg npu.Config, count int) (Result, error) {
+	return RunMemo(prog, scheme, cfg, count, nil)
+}
+
+// RunMemo is Run with a shared layer memo (may be nil). Memoization
+// applies to single-NPU runs, which execute whole DMA runs on one machine;
+// multi-NPU runs interleave machines block-by-block on the shared engine,
+// so their layers have no private state signature and always run live.
+func RunMemo(prog *compiler.Program, scheme memprot.Scheme, cfg npu.Config, count int, memo *npu.LayerMemo) (Result, error) {
 	if count <= 0 {
 		return Result{}, fmt.Errorf("multinpu: count must be positive, got %d", count)
 	}
@@ -47,7 +55,7 @@ func Run(prog *compiler.Program, scheme memprot.Scheme, cfg npu.Config, count in
 	for i := range progs {
 		progs[i] = prog
 	}
-	return RunMixed(progs, scheme, cfg)
+	return runMixed(progs, scheme, cfg, memo)
 }
 
 // RunMixed executes a different program per NPU — the mixed-tenancy
@@ -55,6 +63,10 @@ func Run(prog *compiler.Program, scheme memprot.Scheme, cfg npu.Config, count in
 // region and version table; only bandwidth, the security engine, and the
 // metadata caches are shared).
 func RunMixed(progs []*compiler.Program, scheme memprot.Scheme, cfg npu.Config) (Result, error) {
+	return runMixed(progs, scheme, cfg, nil)
+}
+
+func runMixed(progs []*compiler.Program, scheme memprot.Scheme, cfg npu.Config, memo *npu.LayerMemo) (Result, error) {
 	count := len(progs)
 	if count == 0 {
 		return Result{}, fmt.Errorf("multinpu: no programs")
@@ -78,6 +90,15 @@ func RunMixed(progs []*compiler.Program, scheme memprot.Scheme, cfg npu.Config) 
 		machines[i] = npu.NewMachineAt(progs[i], eng, uint64(i)*contextStride, uint64(i)*slotStride)
 	}
 
+	if count == 1 {
+		// A lone NPU has the engine to itself: run whole DMA runs through
+		// the batched path (cycle-identical to the block interleave below,
+		// pinned by the differential suite) and let the memo replay
+		// recurring layers.
+		machines[0].RunMemoized(memo)
+		return assemble(scheme, eng, machines), nil
+	}
+
 	// Block-granular arbitration: always serve the machine whose next
 	// block is ready earliest; ties rotate so no NPU starves.
 	last := 0
@@ -99,8 +120,12 @@ func RunMixed(progs []*compiler.Program, scheme memprot.Scheme, cfg npu.Config) 
 		machines[best].ServeBlock()
 		last = best
 	}
+	return assemble(scheme, eng, machines), nil
+}
 
-	res := Result{Scheme: scheme, PerNPU: make([]uint64, count)}
+// assemble flushes the engine and summarizes a finished run.
+func assemble(scheme memprot.Scheme, eng memprot.Engine, machines []*npu.Machine) Result {
+	res := Result{Scheme: scheme, PerNPU: make([]uint64, len(machines))}
 	for i, m := range machines {
 		res.PerNPU[i] = m.Cycles()
 		if m.Cycles() > res.Cycles {
@@ -112,5 +137,5 @@ func RunMixed(progs []*compiler.Program, scheme memprot.Scheme, cfg npu.Config) 
 	res.Counter = *eng.CounterStats()
 	res.Hash = *eng.HashStats()
 	res.MAC = *eng.MACStats()
-	return res, nil
+	return res
 }

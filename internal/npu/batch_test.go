@@ -200,14 +200,19 @@ func (f *fuzzReader) u16() uint64 { return uint64(f.byte())<<8 | uint64(f.byte()
 
 // buildFuzzProgram derives a small but structurally rich synthetic program
 // from fuzz bytes: mixed mvin/mvout/compute instructions, 1–4 segments
-// each with unaligned addresses and sizes, versions, backward deps, and a
-// counter-hammer op that rewrites one range until a minor counter wraps.
+// each with unaligned addresses and sizes, versions, backward deps, and
+// boundary-hunting ops — a counter-hammer that rewrites one range until a
+// minor counter wraps, a near-wrap op that stops exactly at/before/after
+// the 7-bit edge, capacity-edge working sets that fill a metadata cache to
+// the line, and dirty-fill ops that leave victims pending for later
+// instructions. The trace is split into 1–4 contiguous layers so edge
+// state crosses memoized layer boundaries.
 func buildFuzzProgram(f *fuzzReader) *compiler.Program {
 	var tr isa.Trace
 	nInstr := 2 + int(f.byte()%10)
 	for i := 0; i < nInstr; i++ {
 		var in isa.Instr
-		switch f.byte() % 8 {
+		switch f.byte() % 11 {
 		case 0, 1:
 			in.Op = isa.OpMvIn
 		case 2:
@@ -215,6 +220,41 @@ func buildFuzzProgram(f *fuzzReader) *compiler.Program {
 		case 3:
 			in.Op = isa.OpCompute
 			in.Cycles = 1 + f.u16()
+		case 4:
+			// Near-overflow: rewrite one aligned range 126/127/128 times, so
+			// a minor counter ends the instruction one short of, exactly at,
+			// or one past the 7-bit wrap — the analytic precondition's edge.
+			in.Op = isa.OpMvOut
+			in.Tensor = tensor.ID(f.byte() % 8)
+			in.Tile = int(f.byte() % 16)
+			in.Version = uint64(f.byte() % 5)
+			span := isa.Segment{Addr: f.u16() * 64, Bytes: (1 + f.u16()%64) * dram.BlockBytes}
+			rep := 126 + int(f.byte()%3)
+			for j := 0; j < rep; j++ {
+				in.Segments = append(in.Segments, span)
+			}
+		case 5:
+			// Capacity edge: one read whose metadata working set lands
+			// exactly at, one line under, or one line over a metadata-cache
+			// capacity (MAC cache: 8KB/8B slots = 1024 blocks; counter
+			// cache: 4KB at arity 64 = 4096 blocks — both scaled by the
+			// fuzzed slot/arity/capacity draws, so the exact edge moves).
+			in.Op = isa.OpMvIn
+			in.Tensor = tensor.ID(f.byte() % 8)
+			in.Tile = int(f.byte() % 16)
+			in.Version = uint64(f.byte() % 5)
+			blocks := []uint64{1024, 1016, 1032, 4096, 4088, 4104}[f.byte()%6]
+			in.Segments = append(in.Segments, isa.Segment{Addr: f.u16() * 64, Bytes: blocks * dram.BlockBytes})
+		case 6:
+			// Dirty fill: write a cache-sized span so every metadata line
+			// sits dirty, leaving victim writebacks pending for whatever the
+			// following instructions (often in the next layer) touch.
+			in.Op = isa.OpMvOut
+			in.Tensor = tensor.ID(f.byte() % 8)
+			in.Tile = int(f.byte() % 16)
+			in.Version = uint64(f.byte() % 5)
+			blocks := []uint64{1024, 4096}[f.byte()%2]
+			in.Segments = append(in.Segments, isa.Segment{Addr: f.u16() * 64, Bytes: blocks * dram.BlockBytes})
 		default:
 			// Hammer: one mvout whose segments rewrite the same 48-block
 			// range far past the 7-bit minor-counter limit. The lone
@@ -254,11 +294,22 @@ func buildFuzzProgram(f *fuzzReader) *compiler.Program {
 	if err := tr.Validate(); err != nil {
 		panic(err) // construction above must always be valid
 	}
-	return &compiler.Program{
-		Trace:      tr,
-		LayerFirst: []int32{0},
-		LayerLast:  []int32{int32(len(tr.Instrs) - 1)},
+	// Tile the trace into 1–4 contiguous layers so dirty lines, pending
+	// victims, and near-wrap counters carry across memoized boundaries.
+	n := len(tr.Instrs)
+	nLayers := 1 + int(f.byte())%4
+	if nLayers > n {
+		nLayers = n
 	}
+	prog := &compiler.Program{Trace: tr}
+	first := 0
+	for li := 0; li < nLayers; li++ {
+		last := first + (n-first)/(nLayers-li) - 1
+		prog.LayerFirst = append(prog.LayerFirst, int32(first))
+		prog.LayerLast = append(prog.LayerLast, int32(last))
+		first = last + 1
+	}
+	return prog
 }
 
 // FuzzBatchedVsPerBlock drives random traces, memory geometries, and
@@ -300,11 +351,25 @@ func FuzzBatchedVsPerBlock(f *testing.F) {
 		if !reflect.DeepEqual(per, bat) {
 			t.Fatalf("divergence (scheme %v, mem %+v):\n  per-block: %+v\n  batched:   %+v", scheme, mem, per, bat)
 		}
+		// Memoized legs: the recording pass and a replay from the warm memo
+		// must also agree with the per-block reference exactly.
+		memo := NewLayerMemo()
+		rec := runMemoPath(t, prog, scheme, cfg, mutate, memo)
+		if !reflect.DeepEqual(per, rec) {
+			t.Fatalf("memo recording divergence (scheme %v, mem %+v):\n  per-block: %+v\n  recording: %+v", scheme, mem, per, rec)
+		}
+		rep := runMemoPath(t, prog, scheme, cfg, mutate, memo)
+		if !reflect.DeepEqual(per, rep) {
+			t.Fatalf("memo replay divergence (scheme %v, mem %+v):\n  per-block: %+v\n  replay:    %+v", scheme, mem, per, rep)
+		}
 	})
 }
 
 // BenchmarkMachineRun measures a full dense-workload simulation per scheme
-// on both paths; BENCH_PR4.json records the batched/per-block ratio.
+// on three paths: the per-block reference, the streak path (batched, no
+// memo), and the production path (batched + layer memo, which replays the
+// whole run from cache after the first iteration — the harness's steady
+// state). BENCH_PR6.json records the batched/per-block ratio.
 func BenchmarkMachineRun(b *testing.B) {
 	for _, cfg := range []Config{SmallNPU(), LargeNPU()} {
 		m, err := model.ByShort("res")
@@ -316,12 +381,13 @@ func BenchmarkMachineRun(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, scheme := range memprot.AllSchemes() {
-			for _, batched := range []bool{false, true} {
-				path := "perblock"
-				if batched {
-					path = "batched"
-				}
+			for _, path := range []string{"perblock", "streak", "batched"} {
+				path := path
 				b.Run(fmt.Sprintf("%s/res/%s/%s", cfg.Name, scheme, path), func(b *testing.B) {
+					var memo *LayerMemo
+					if path == "batched" {
+						memo = NewLayerMemo()
+					}
 					for i := 0; i < b.N; i++ {
 						bus := dram.NewBus(cfg.Mem)
 						eng, err := memprot.New(scheme, memprot.DefaultConfig(bus))
@@ -329,8 +395,15 @@ func BenchmarkMachineRun(b *testing.B) {
 							b.Fatal(err)
 						}
 						mach := NewMachine(prog, eng)
-						mach.SetBatched(batched)
-						mach.Run()
+						switch path {
+						case "perblock":
+							mach.SetBatched(false)
+							mach.Run()
+						case "streak":
+							mach.Run()
+						case "batched":
+							mach.RunMemoized(memo)
+						}
 						eng.Flush(mach.Cycles())
 					}
 				})

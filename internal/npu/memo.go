@@ -1,0 +1,331 @@
+package npu
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"tnpu/internal/canon"
+	"tnpu/internal/compiler"
+	"tnpu/internal/isa"
+	"tnpu/internal/memprot"
+)
+
+// This file implements layer-signature memoization (DESIGN.md §6e): the
+// experiment harness re-executes the same model layers hundreds of times —
+// across sweep points, batch sizes, and NPU counts — and almost all of
+// those executions start from a machine+engine state the simulator has
+// seen before. A LayerMemo caches, per (program, layer, state-signature),
+// the layer's complete effect: the behavioural end state (canon bytes) and
+// the accumulator deltas (cycles, traffic, cache statistics), so a
+// recurring layer replays in O(state) instead of O(blocks).
+//
+// Correctness rests on two properties. First, keys compare the *exact*
+// pre-state bytes (the 64-bit hash only buckets them), so a replay happens
+// only from a state byte-identical to the recording's — modulo a uniform
+// time shift, which the models are invariant under (every timing decision
+// is a max/compare; canon encodes times relative to the layer-entry DMA
+// clock). Second, accumulators ride as wrapping deltas, never absolute
+// values, so replaying into a run with different history stays exact.
+
+// LayerMemo is a concurrency-safe cache of layer execution deltas, shared
+// by every machine a Runner builds. The zero value is not usable; call
+// NewLayerMemo.
+type LayerMemo struct {
+	mu      sync.RWMutex
+	entries map[memoKey][]*memoEntry
+	liveIn  map[*compiler.Program][][]int32
+	bytes   int
+	hits    uint64
+	misses  uint64
+}
+
+// memoBudgetBytes bounds retained blob memory; once past it, new layers
+// run live without storing (lookups still hit existing entries).
+const memoBudgetBytes = 512 << 20
+
+// memoKey buckets entries by program identity (programs are compiled once
+// and shared, so pointer identity is program identity), layer index, and a
+// hash of the canonical pre-state bytes.
+type memoKey struct {
+	prog  *compiler.Program
+	layer int32
+	hash  uint64
+}
+
+type memoEntry struct {
+	pre  []byte // canonical machine+engine state at layer entry
+	post []byte // canonical state at layer exit, plus engine delta
+	acc  []byte // wrapping accumulator deltas across the layer
+}
+
+// NewLayerMemo returns an empty memo cache.
+func NewLayerMemo() *LayerMemo {
+	return &LayerMemo{
+		entries: make(map[memoKey][]*memoEntry),
+		liveIn:  make(map[*compiler.Program][][]int32),
+	}
+}
+
+// Hits and Misses report lookup outcomes (for tests and logging).
+func (lm *LayerMemo) Hits() uint64 {
+	lm.mu.RLock()
+	defer lm.mu.RUnlock()
+	return lm.hits
+}
+
+// Misses reports the number of layer executions that ran live.
+func (lm *LayerMemo) Misses() uint64 {
+	lm.mu.RLock()
+	defer lm.mu.RUnlock()
+	return lm.misses
+}
+
+// lookup returns the entry whose pre-state bytes equal pre, or nil.
+func (lm *LayerMemo) lookup(key memoKey, pre []byte) *memoEntry {
+	lm.mu.RLock()
+	bucket := lm.entries[key]
+	var found *memoEntry
+	for _, e := range bucket {
+		if bytes.Equal(e.pre, pre) {
+			found = e
+			break
+		}
+	}
+	lm.mu.RUnlock()
+	lm.mu.Lock()
+	if found != nil {
+		lm.hits++
+	} else {
+		lm.misses++
+	}
+	lm.mu.Unlock()
+	return found
+}
+
+// store adds an entry unless the byte budget is exhausted or a concurrent
+// recorder beat us to the same pre-state.
+func (lm *LayerMemo) store(key memoKey, e *memoEntry) {
+	sz := len(e.pre) + len(e.post) + len(e.acc)
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	if lm.bytes+sz > memoBudgetBytes {
+		return
+	}
+	for _, old := range lm.entries[key] {
+		if bytes.Equal(old.pre, e.pre) {
+			return
+		}
+	}
+	lm.entries[key] = append(lm.entries[key], e)
+	lm.bytes += sz
+}
+
+// liveIns returns, per layer, the sorted instruction indices outside the
+// layer whose completion times the layer's dependencies read — the only
+// done[] entries that belong in the layer's state signature.
+func (lm *LayerMemo) liveIns(prog *compiler.Program) [][]int32 {
+	lm.mu.RLock()
+	out, ok := lm.liveIn[prog]
+	lm.mu.RUnlock()
+	if ok {
+		return out
+	}
+	out = make([][]int32, len(prog.LayerFirst))
+	for li := range prog.LayerFirst {
+		first, last := prog.LayerFirst[li], prog.LayerLast[li]
+		seen := make(map[int32]struct{})
+		var list []int32
+		for idx := first; idx <= last; idx++ {
+			for _, d := range prog.Trace.Instrs[idx].Deps {
+				if d < first {
+					if _, dup := seen[d]; !dup {
+						seen[d] = struct{}{}
+						list = append(list, d)
+					}
+				}
+			}
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		out[li] = list
+	}
+	lm.mu.Lock()
+	if prior, ok := lm.liveIn[prog]; ok {
+		out = prior
+	} else {
+		lm.liveIn[prog] = out
+	}
+	lm.mu.Unlock()
+	return out
+}
+
+// hashBlob is FNV-1a over 8-byte words (canon blobs are u64-aligned).
+func hashBlob(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for ; len(b) >= 8; b = b[8:] {
+		h = (h ^ binary.LittleEndian.Uint64(b)) * 1099511628211
+	}
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+// layersContiguous reports whether the program's layer table tiles the
+// instruction trace exactly — the precondition for driving execution
+// layer-by-layer.
+func layersContiguous(p *compiler.Program) bool {
+	n := len(p.LayerFirst)
+	if n == 0 || p.LayerFirst[0] != 0 {
+		return false
+	}
+	for li := 1; li < n; li++ {
+		if p.LayerFirst[li] != p.LayerLast[li-1]+1 {
+			return false
+		}
+	}
+	return p.LayerLast[n-1] == int32(len(p.Trace.Instrs))-1
+}
+
+// RunMemoized drives the machine to completion like Run, consulting memo
+// before executing each layer and recording layers it runs live. It
+// requires a machine on a freshly constructed engine (the engine arms its
+// memoization bookkeeping at the first layer boundary and panics if it has
+// already served traffic). Falls back to Run when memoization cannot
+// apply: nil memo, per-block path, IOMMU enabled, an engine without layer
+// canonicalization, or a layer table that does not tile the trace.
+func (m *Machine) RunMemoized(memo *LayerMemo) {
+	ls, isLS := m.eng.(memprot.LayerState)
+	if memo == nil || !m.batched || m.iotlb != nil || !isLS || !layersContiguous(m.prog) {
+		m.Run()
+		return
+	}
+	live := memo.liveIns(m.prog)
+	for li := range m.prog.LayerFirst {
+		first, last := int(m.prog.LayerFirst[li]), int(m.prog.LayerLast[li])
+		ls.BeginLayer()
+		base := m.dmaFree
+		m.canonBuf = m.appendPre(m.canonBuf[:0], ls, live[li], base)
+		pre := m.canonBuf
+		key := memoKey{m.prog, int32(li), hashBlob(pre)}
+		if e := memo.lookup(key, pre); e != nil {
+			m.replayLayer(e, ls, base, first, last)
+			continue
+		}
+		m.accBuf = m.appendAcc(m.accBuf[:0], ls)
+		nAcc := len(m.accBuf)
+		m.runLayer(last)
+		m.accBuf = m.appendAcc(m.accBuf, ls)
+		after := m.accBuf[nAcc:]
+		acc := make([]byte, len(after))
+		for i := 0; i < len(after); i += 8 {
+			binary.LittleEndian.PutUint64(acc[i:],
+				binary.LittleEndian.Uint64(after[i:])-binary.LittleEndian.Uint64(m.accBuf[i:]))
+		}
+		memo.store(key, &memoEntry{
+			pre:  append([]byte(nil), pre...),
+			post: m.appendPost(nil, ls, base, first, last),
+			acc:  acc,
+		})
+	}
+}
+
+// runLayer executes instructions up to and including index last, exactly
+// as Run would: computes retire in order on the PE array, DMA
+// instructions issue and serve to completion. Unlike NextReady it stops at
+// the layer boundary instead of running ahead to the next DMA.
+func (m *Machine) runLayer(last int) {
+	for m.pos <= last {
+		in := &m.prog.Trace.Instrs[m.pos]
+		switch in.Op {
+		case isa.OpCompute, isa.OpPreload:
+			start := max64(m.peFree, m.depsDone(in))
+			end := start + in.Cycles
+			m.peFree = end
+			m.computeBusy += in.Cycles
+			m.retire(m.pos, end)
+			m.pos++
+		case isa.OpMvIn, isa.OpMvOut:
+			m.startDMA(m.pos, in)
+			m.pos++
+			m.ServeRun()
+		default:
+			panic(fmt.Sprintf("npu: unknown op %v", in.Op))
+		}
+	}
+}
+
+// appendPre canonicalizes the machine+engine state a layer's execution
+// depends on: PE clock, DMA issue window, the completion times of
+// out-of-layer dependencies, the context's address/slot relocation, and
+// the engine. All times relative to base.
+func (m *Machine) appendPre(dst []byte, ls memprot.LayerState, live []int32, base uint64) []byte {
+	dst = canon.AppendU64(dst, m.peFree-base)
+	dst = m.window.AppendCanon(dst, base)
+	dst = canon.AppendU64(dst, uint64(len(live)))
+	for _, d := range live {
+		dst = canon.AppendU64(dst, m.done[d]-base)
+	}
+	dst = canon.AppendU64(dst, m.dataOffset)
+	dst = canon.AppendU64(dst, m.slotOffset)
+	return ls.AppendCanon(dst, base)
+}
+
+// appendPost canonicalizes the machine+engine state after the layer ran:
+// clocks, window, every done[] entry the layer retired, the engine's end
+// state, and the engine's journaled delta.
+func (m *Machine) appendPost(dst []byte, ls memprot.LayerState, base uint64, first, last int) []byte {
+	dst = canon.AppendU64(dst, m.peFree-base)
+	dst = canon.AppendU64(dst, m.dmaFree-base)
+	dst = m.window.AppendCanon(dst, base)
+	for idx := first; idx <= last; idx++ {
+		dst = canon.AppendU64(dst, m.done[idx]-base)
+	}
+	dst = ls.AppendCanon(dst, base)
+	return ls.AppendDelta(dst)
+}
+
+// appendAcc snapshots every monotone accumulator a layer advances.
+func (m *Machine) appendAcc(dst []byte, ls memprot.LayerState) []byte {
+	dst = canon.AppendU64(dst, m.computeBusy)
+	dst = canon.AppendU64(dst, m.blocksMoved)
+	return ls.AppendAccum(dst)
+}
+
+// replayLayer installs a recorded layer's end state and accumulator
+// deltas. lastDone is recomputed from the restored retire times rather
+// than restored (it is a running maximum over the whole run, not part of
+// the layer's state signature).
+func (m *Machine) replayLayer(e *memoEntry, ls memprot.LayerState, base uint64, first, last int) {
+	src := e.post
+	var v uint64
+	v, src = canon.U64(src)
+	m.peFree = v + base
+	v, src = canon.U64(src)
+	m.dmaFree = v + base
+	src = m.window.RestoreCanon(src, base)
+	for idx := first; idx <= last; idx++ {
+		v, src = canon.U64(src)
+		m.done[idx] = v + base
+		if m.done[idx] > m.lastDone {
+			m.lastDone = m.done[idx]
+		}
+	}
+	src = ls.RestoreCanon(src, base)
+	src = ls.ApplyDelta(src)
+	if len(src) != 0 {
+		panic("npu: trailing bytes in memo post blob")
+	}
+	src = e.acc
+	v, src = canon.U64(src)
+	m.computeBusy += v
+	v, src = canon.U64(src)
+	m.blocksMoved += v
+	src = ls.AddAccum(src)
+	if len(src) != 0 {
+		panic("npu: trailing bytes in memo accumulator blob")
+	}
+	m.pos = last + 1
+}

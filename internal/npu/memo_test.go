@@ -1,0 +1,203 @@
+package npu
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"tnpu/internal/compiler"
+	"tnpu/internal/dram"
+	"tnpu/internal/isa"
+	"tnpu/internal/memprot"
+	"tnpu/internal/tensor"
+)
+
+// runMemoPath executes a program through RunMemoized against the given
+// shared memo, on an otherwise fresh bus/engine/machine, and captures the
+// same observables as runPath.
+func runMemoPath(t testing.TB, prog *compiler.Program, scheme memprot.Scheme, cfg Config, mutate func(*memprot.Config), memo *LayerMemo) pathState {
+	t.Helper()
+	bus := dram.NewBus(cfg.Mem)
+	mpCfg := memprot.DefaultConfig(bus)
+	if mutate != nil {
+		mutate(&mpCfg)
+	}
+	eng, err := memprot.New(scheme, mpCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(prog, eng)
+	m.RunMemoized(memo)
+	eng.Flush(m.Cycles())
+	return pathState{
+		Cycles:   m.Cycles(),
+		Compute:  m.ComputeBusy(),
+		Blocks:   m.BlocksMoved(),
+		Spans:    m.LayerSpans(),
+		Traffic:  *eng.Traffic(),
+		Counter:  *eng.CounterStats(),
+		Hash:     *eng.HashStats(),
+		MAC:      *eng.MACStats(),
+		BusBytes: bus.BytesMoved(),
+		BusBusy:  bus.BusyCycles(),
+		BusNow:   bus.Now(),
+	}
+}
+
+// diffMemo pins the memoization guarantee: a recording pass (cold memo)
+// and a replaying pass (warm memo) must both be bit-identical to the
+// per-block reference on every observable.
+func diffMemo(t *testing.T, prog *compiler.Program, scheme memprot.Scheme, cfg Config, mutate func(*memprot.Config)) {
+	t.Helper()
+	per := runPath(t, prog, scheme, cfg, mutate, false)
+	memo := NewLayerMemo()
+	rec := runMemoPath(t, prog, scheme, cfg, mutate, memo)
+	if !reflect.DeepEqual(per, rec) {
+		t.Errorf("memoized recording run diverges from per-block reference:\n  per-block: %+v\n  recording: %+v", per, rec)
+	}
+	rep := runMemoPath(t, prog, scheme, cfg, mutate, memo)
+	if !reflect.DeepEqual(per, rep) {
+		t.Errorf("memoized replay diverges from per-block reference:\n  per-block: %+v\n  replay:    %+v", per, rep)
+	}
+	layers := uint64(len(prog.LayerFirst))
+	if memo.Hits() < layers {
+		t.Errorf("replay pass hit %d memo entries, want at least the %d layers of the program", memo.Hits(), layers)
+	}
+}
+
+// TestMemoizedEquivalence runs the full workload matrix through the
+// memoization layer: record and replay must match the per-block reference
+// exactly, and the second run must be served from the memo.
+func TestMemoizedEquivalence(t *testing.T) {
+	for _, cfg := range []Config{SmallNPU(), LargeNPU()} {
+		for _, short := range equivalenceModels(t) {
+			cfg, short := cfg, short
+			t.Run(fmt.Sprintf("%s/%s", cfg.Name, short), func(t *testing.T) {
+				t.Parallel()
+				prog := compileFor(t, short, cfg)
+				for _, scheme := range memprot.AllSchemes() {
+					diffMemo(t, prog, scheme, cfg, nil)
+				}
+			})
+		}
+	}
+}
+
+// TestMemoSharedAcrossConfigs pins the signature's configuration salt: one
+// memo shared between runs under different protection parameters must
+// never cross-replay (results stay equal to each config's own reference).
+func TestMemoSharedAcrossConfigs(t *testing.T) {
+	cfg := SmallNPU()
+	prog := compileFor(t, "df", cfg)
+	memo := NewLayerMemo()
+	mutations := []func(*memprot.Config){
+		nil,
+		func(c *memprot.Config) { c.MACSlotBytes = 16 },
+		func(c *memprot.Config) { c.TreeArity = 8 },
+		func(c *memprot.Config) { c.WalkMSHRs = 1 },
+	}
+	for i, mutate := range mutations {
+		per := runPath(t, prog, memprot.Baseline, cfg, mutate, false)
+		got := runMemoPath(t, prog, memprot.Baseline, cfg, mutate, memo)
+		if !reflect.DeepEqual(per, got) {
+			t.Errorf("mutation %d: shared memo corrupted the result:\n  want %+v\n  got  %+v", i, per, got)
+		}
+	}
+}
+
+// boundaryProgram builds a two-layer program around mvin/mvout segment
+// lists: layer 0 holds the warm-up instructions, layer 1 the probe, so
+// state (dirty metadata lines, minor counts, bus horizon) carries across a
+// memoized layer boundary.
+func boundaryProgram(t *testing.T, warm, probe []isa.Instr) *compiler.Program {
+	t.Helper()
+	var tr isa.Trace
+	for _, in := range warm {
+		tr.Append(in)
+	}
+	for _, in := range probe {
+		tr.Append(in)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return &compiler.Program{
+		Trace:      tr,
+		LayerFirst: []int32{0, int32(len(warm))},
+		LayerLast:  []int32{int32(len(warm) - 1), int32(len(tr.Instrs) - 1)},
+	}
+}
+
+func mv(op isa.Op, tile int, segs ...isa.Segment) isa.Instr {
+	return isa.Instr{Op: op, Tensor: tensor.ID(1), Tile: tile, Version: 1, Segments: segs}
+}
+
+// rewrites returns an mvout whose segments rewrite the same range n times.
+func rewrites(addr, bytes uint64, n int) isa.Instr {
+	in := mv(isa.OpMvOut, 0)
+	for i := 0; i < n; i++ {
+		in.Segments = append(in.Segments, isa.Segment{Addr: addr, Bytes: bytes})
+	}
+	return in
+}
+
+// TestClosedFormBoundary drives table-driven cases where the analytic
+// preconditions *almost* hold — one counter bump short of a minor-counter
+// wrap, a working set exactly at metadata-cache capacity, dirty victims
+// pending from the previous layer — and requires the batched and memoized
+// paths to stay bit-identical to the per-block reference on both sides of
+// each boundary. Capacities with the default config: the 8KB MAC cache
+// covers 1024 data blocks at 8B slots; the 4KB counter cache covers 4096
+// blocks at arity 64.
+func TestClosedFormBoundary(t *testing.T) {
+	const blk = dram.BlockBytes
+	const macCap = 1024 * blk // data bytes whose MAC lines exactly fill the MAC cache
+	const ctrCap = 4096 * blk // data bytes whose counter lines exactly fill the counter cache
+	span := isa.Segment{Addr: 0, Bytes: 48 * blk}
+	cases := []struct {
+		name  string
+		warm  []isa.Instr
+		probe []isa.Instr
+	}{
+		{"counter-one-short-of-wrap",
+			[]isa.Instr{rewrites(span.Addr, span.Bytes, 126)},
+			[]isa.Instr{rewrites(span.Addr, span.Bytes, 1)}}, // counts reach 127: still analytic
+		{"counter-wraps-mid-layer",
+			[]isa.Instr{rewrites(span.Addr, span.Bytes, 127)},
+			[]isa.Instr{rewrites(span.Addr, span.Bytes, 1)}}, // 128th bump: overflow burst in probe layer
+		{"working-set-at-mac-capacity",
+			[]isa.Instr{mv(isa.OpMvIn, 0, isa.Segment{Addr: 0, Bytes: macCap})},
+			[]isa.Instr{mv(isa.OpMvIn, 1, isa.Segment{Addr: 0, Bytes: macCap})}}, // second pass all-hit
+		{"working-set-one-line-past-mac-capacity",
+			[]isa.Instr{mv(isa.OpMvIn, 0, isa.Segment{Addr: 0, Bytes: macCap + 8*blk})},
+			[]isa.Instr{mv(isa.OpMvIn, 1, isa.Segment{Addr: 0, Bytes: macCap + 8*blk})}}, // self-evicting
+		{"working-set-at-counter-capacity",
+			[]isa.Instr{mv(isa.OpMvIn, 0, isa.Segment{Addr: 0, Bytes: ctrCap})},
+			[]isa.Instr{mv(isa.OpMvIn, 1, isa.Segment{Addr: 0, Bytes: ctrCap})}},
+		{"dirty-victims-carry-across-layers",
+			[]isa.Instr{mv(isa.OpMvOut, 0, isa.Segment{Addr: 0, Bytes: macCap})},
+			[]isa.Instr{mv(isa.OpMvIn, 1, isa.Segment{Addr: 2 * macCap, Bytes: macCap})}}, // every miss evicts dirty
+		// A run starting mid-counter-line leaves a partial first line that
+		// the chunk-stretch boundary probes cannot see; the repeat pass is
+		// all-hit, so the stretch must charge (reads) or price (writes) the
+		// partial line exactly as the per-block model does.
+		{"misaligned-run-start-partial-counter-line",
+			[]isa.Instr{mv(isa.OpMvIn, 0, isa.Segment{Addr: 8 * blk, Bytes: macCap})},
+			[]isa.Instr{mv(isa.OpMvIn, 1, isa.Segment{Addr: 8 * blk, Bytes: macCap})}},
+		{"misaligned-run-start-write",
+			[]isa.Instr{mv(isa.OpMvOut, 0, isa.Segment{Addr: 8 * blk, Bytes: macCap})},
+			[]isa.Instr{mv(isa.OpMvOut, 1, isa.Segment{Addr: 8 * blk, Bytes: macCap})}},
+	}
+	cfg := SmallNPU()
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			prog := boundaryProgram(t, tc.warm, tc.probe)
+			for _, scheme := range memprot.AllSchemes() {
+				diffPaths(t, prog, scheme, cfg, nil)
+				diffMemo(t, prog, scheme, cfg, nil)
+			}
+		})
+	}
+}

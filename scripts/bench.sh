@@ -1,27 +1,60 @@
 #!/usr/bin/env bash
-# bench.sh — measure the run-length batched DMA fast path against the
-# retained per-block reference and emit BENCH_PR4.json.
+# bench.sh — measure the batched DMA fast path and the layer-memoized
+# production path against the retained per-block reference, and emit the
+# next BENCH_PR<n>.json.
 #
-# Both execution paths live in the same binary (the per-block model is the
-# semantic reference the batched path is pinned to), so before/after is a
-# single build: "before" = -perblock / the perblock sub-benchmarks,
-# "after" = the default batched path.
+# All execution paths live in the same binary (the per-block model is the
+# semantic reference the faster paths are pinned to), so before/after is a
+# single build: "perblock" = the reference, "streak" = the batched
+# run-length path without memoization, "batched" = the production path
+# (batched + layer memo, which replays recurring layer signatures from
+# cache — the harness's steady state).
 #
-# After writing the output, the batched machine-run times are compared
-# against the previous checked-in bench file (PREV, default
-# BENCH_PR3.json): any scheme more than 10% slower fails the script, so a
-# streak-layer regression cannot be checked in silently.
+# PREV defaults to the newest *checked-in* BENCH_PR<n>.json by numeric
+# suffix; OUT defaults to BENCH_PR<n+1>.json (or takes $1) and the script
+# refuses to overwrite an existing file, so stale hard-coded names can't
+# silently clobber recorded results. After writing the output, the batched
+# machine-run times are compared against PREV: any scheme more than 10%
+# slower fails the script, so a fast-path regression cannot be checked in
+# silently.
 #
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR4.json}"
-PREV="${PREV:-BENCH_PR3.json}"
+# Newest checked-in bench file by numeric suffix (git ls-files, so a
+# freshly written but uncommitted OUT never becomes its own baseline).
+newest_checked_in() {
+	git ls-files 'BENCH_PR*.json' |
+		awk '{ n = $0; gsub(/[^0-9]/, "", n); print n + 0, $0 }' |
+		sort -n | awk 'END { print $2 }'
+}
+
+PREV="${PREV:-$(newest_checked_in)}"
+if [ -z "$PREV" ]; then
+	echo "bench.sh: no checked-in BENCH_PR*.json to compare against (set PREV= explicitly)" >&2
+	exit 1
+fi
+
+if [ -n "${1:-}" ]; then
+	OUT="$1"
+else
+	maxn=$(basename "$PREV" | tr -dc '0-9')
+	OUT="BENCH_PR$((maxn + 1)).json"
+fi
+if [ -e "$OUT" ]; then
+	echo "bench.sh: refusing to overwrite existing $OUT (pass a fresh filename or remove it first)" >&2
+	exit 1
+fi
+echo "baseline $PREV -> output $OUT" >&2
+
 # The engine microbenchmarks run in ~100us/op, so they need many
-# iterations to settle; one full machine run takes tens of ms.
+# iterations to settle; one full machine run takes tens of ms. The machine
+# count must be high enough that the memoized path's one-time recording
+# pass (first iteration of each sub-benchmark) amortizes into the replay
+# steady state it is meant to measure.
 MICRO_BENCHTIME="${MICRO_BENCHTIME:-200x}"
-BENCHTIME="${BENCHTIME:-5x}"
+BENCHTIME="${BENCHTIME:-20x}"
 
 echo "engine microbenchmarks (ReadBlock vs ReadRun, 4096-block dense stream)..." >&2
 # Exact-match the two comparison benchmarks: ReadRunHot/WriteRunHot (the
@@ -33,19 +66,19 @@ echo "machine benchmarks (full npu.Run on res, per scheme x path)..." >&2
 MACHINE=$(go test ./internal/npu -run '^$' -bench 'BenchmarkMachineRun' -benchtime "$BENCHTIME" -count=1 | grep '^Benchmark')
 
 echo "full regeneration wall time (tnpu-bench -parallel 1, df/res subset)..." >&2
-go build -o /tmp/tnpu-bench-pr4 ./cmd/tnpu-bench
+go build -o /tmp/tnpu-bench-run ./cmd/tnpu-bench
 t0=$(date +%s.%N)
-/tmp/tnpu-bench-pr4 -parallel 1 -models df,res >/dev/null
+/tmp/tnpu-bench-run -parallel 1 -models df,res >/dev/null
 t1=$(date +%s.%N)
 BATCHED_S=$(echo "$t1 $t0" | awk '{printf "%.2f", $1-$2}')
 t0=$(date +%s.%N)
-/tmp/tnpu-bench-pr4 -parallel 1 -perblock -models df,res >/dev/null
+/tmp/tnpu-bench-run -parallel 1 -perblock -models df,res >/dev/null
 t1=$(date +%s.%N)
 PERBLOCK_S=$(echo "$t1 $t0" | awk '{printf "%.2f", $1-$2}')
 
 {
 	echo "{"
-	echo '  "description": "Run-length batched DMA fast path with metadata-line streaks vs per-block reference (same binary, cycle-identical results). ns/op from go test -bench; wall seconds from tnpu-bench -parallel 1 -models df,res.",'
+	echo '  "description": "Batched DMA fast path (streak) and layer-memoized production path (batched) vs per-block reference (same binary, cycle-identical results). ns/op from go test -bench; wall seconds from tnpu-bench -parallel 1 -models df,res.",'
 	echo '  "benchtime": {"micro": "'"$MICRO_BENCHTIME"'", "machine": "'"$BENCHTIME"'"},'
 
 	echo '  "engine_micro_ns_per_op": {'
@@ -77,9 +110,9 @@ PERBLOCK_S=$(echo "$t1 $t0" | awk '{printf "%.2f", $1-$2}')
 		END {
 			for (i = 1; i <= n; i++) {
 				c = order[i]
-				pb = ns[c ".perblock"]; bt = ns[c ".batched"]
-				printf "    \"%s\": {\"perblock\": %s, \"batched\": %s, \"speedup\": %.2f}%s\n",
-					c, pb, bt, pb / bt, (i < n ? "," : "")
+				pb = ns[c ".perblock"]; st = ns[c ".streak"]; bt = ns[c ".batched"]
+				printf "    \"%s\": {\"perblock\": %s, \"streak\": %s, \"batched\": %s, \"speedup_streak\": %.2f, \"speedup\": %.2f}%s\n",
+					c, pb, st, bt, pb / st, pb / bt, (i < n ? "," : "")
 			}
 		}'
 	echo '  },'
@@ -98,7 +131,8 @@ echo "wrote $OUT" >&2
 # Compare the batched machine-run times (ms-scale with -benchtime 5x, so
 # stable enough for a 10% gate; the sub-microsecond engine micro numbers
 # for the trivial schemes are harness-noise-bound and excluded) against the
-# previous checked-in results.
+# previous checked-in results. Keys present only in OUT (new sub-benchmarks
+# like "streak") are not gated; keys missing from OUT fail.
 if [ -f "$PREV" ] && [ "$PREV" != "$OUT" ]; then
 	echo "checking batched machine-run times against $PREV (>10% slower fails)..." >&2
 	extract_batched() {
