@@ -117,6 +117,9 @@ func mainRun() int {
 	}
 	if *verboseFlag {
 		fmt.Fprint(os.Stderr, r.Log().Summary())
+		hits, misses := r.MemoStats()
+		fmt.Fprintf(os.Stderr, "layer memo: %d hits, %d misses; cell cache: %d hits\n",
+			hits, misses, r.Log().CacheHits())
 	}
 	return code
 }

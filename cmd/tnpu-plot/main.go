@@ -52,25 +52,18 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		// One chart per NPU class keeps the figures readable.
-		for _, class := range []string{"small", "large"} {
-			chart := plot.Chart{
-				Title:      fmt.Sprintf("%s — %s NPU (%s)", fig.ID, class, fig.Title),
-				Categories: fig.Series[0].Models,
-				RefLine:    f.refLine,
-				YLabel:     f.ylabel,
-			}
-			for _, s := range fig.Series {
-				if s.Class.String() != class {
-					continue
-				}
-				chart.Series = append(chart.Series, plot.Series{Label: s.Label, Values: s.Values})
-			}
-			svg, err := chart.SVG()
+		series := make([]plot.ClassSeries, 0, len(fig.Series))
+		for _, s := range fig.Series {
+			series = append(series, plot.ClassSeries{Class: s.Class.String(), Label: s.Label, Values: s.Values})
+		}
+		// One chart per NPU class keeps the figures readable; the split
+		// is shared with tnpu-serve's SVG endpoint (plot.ClassCharts).
+		for _, cc := range plot.ClassCharts(fig.ID, fig.Title, fig.Series[0].Models, series, f.refLine, f.ylabel) {
+			svg, err := cc.Chart.SVG()
 			if err != nil {
 				fatal(err)
 			}
-			path := filepath.Join(*outFlag, fmt.Sprintf("%s-%s.svg", f.name, class))
+			path := filepath.Join(*outFlag, fmt.Sprintf("%s-%s.svg", f.name, cc.Class))
 			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
 				fatal(err)
 			}

@@ -1,0 +1,84 @@
+// Content-addressing for harness results. The service layer
+// (internal/serve) persists simulation results on disk keyed by what they
+// are a pure function of: the hardware configuration, the workload, the
+// protection scheme, and the simulator's code version. Digests are built
+// field-by-field — never by reflection or %+v — so a new result-affecting
+// configuration knob must be added here deliberately, and forgetting to
+// do so is caught by TestConfigDigestCoversAllFields.
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"tnpu/internal/memprot"
+	"tnpu/internal/npu"
+)
+
+// CodeVersion identifies the simulator revision for content addressing.
+// Any change that can alter simulation output (timing model, compiler,
+// protection engines, figure definitions) must bump it: cached entries
+// written under an older version become unreachable (their digests no
+// longer match) rather than silently stale.
+const CodeVersion = "tnpu-sim-7"
+
+// ConfigDigest returns a stable hex digest of everything in an NPU
+// hardware configuration that a simulation result depends on. Every
+// npu.Config field is rendered explicitly: two configs digest equal iff
+// the simulator would treat them identically.
+func ConfigDigest(cfg npu.Config) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "array=%dx%d|flow=%d|spm=%d|freq=%d|bw=%d|lat=%d|ch=%d|tlb=%d|walk=%d",
+		cfg.Array.Rows, cfg.Array.Cols, cfg.Array.Flow,
+		cfg.SPM.CapacityBytes,
+		cfg.Mem.FreqHz, cfg.Mem.BandwidthBytesPerSec, cfg.Mem.LatencyCycles, cfg.Mem.Channels,
+		cfg.TLBEntries, cfg.TLBWalkCycles)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CellKey identifies one simulation cell — the unit the figure grids, the
+// sweeps, and the service requests all decompose into.
+type CellKey struct {
+	Model  string
+	Class  Class
+	Scheme memprot.Scheme
+	Count  int
+}
+
+// Digest content-addresses the cell under a code version: equal digests
+// mean the cached result is interchangeable with a fresh computation.
+func (k CellKey) Digest(codeVersion string) string {
+	return Digest(codeVersion, "cell", k.Model, ConfigDigest(k.Class.Config()),
+		k.Scheme.String(), fmt.Sprintf("x%d", k.Count))
+}
+
+// Digest hashes a code version plus an ordered list of key parts into one
+// content address. Parts are length-prefixed so no two distinct part
+// lists can collide by concatenation ("ab","c" vs "a","bc").
+func Digest(codeVersion string, parts ...string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v=%d:%s", len(codeVersion), codeVersion)
+	for _, p := range parts {
+		fmt.Fprintf(h, "|%d:%s", len(p), p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DigestParams canonicalizes a parameter map into ordered key=value parts
+// for Digest, so handlers can address artifacts without worrying about
+// query-parameter order.
+func DigestParams(codeVersion, kind string, params map[string]string) string {
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, 1+len(keys))
+	parts = append(parts, kind)
+	for _, k := range keys {
+		parts = append(parts, k+"="+params[k])
+	}
+	return Digest(codeVersion, parts...)
+}

@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"tnpu/internal/memprot"
+	"tnpu/internal/npu"
+)
+
+// countLeafFields walks a struct type and counts its scalar leaves — the
+// knobs a hardware configuration is made of.
+func countLeafFields(t reflect.Type) int {
+	if t.Kind() != reflect.Struct {
+		return 1
+	}
+	n := 0
+	for i := 0; i < t.NumField(); i++ {
+		n += countLeafFields(t.Field(i).Type)
+	}
+	return n
+}
+
+// TestConfigDigestCoversAllFields pins the shape of npu.Config: the
+// digest renders fields explicitly, so adding a configuration knob must
+// come with a ConfigDigest update — this failure is the reminder.
+func TestConfigDigestCoversAllFields(t *testing.T) {
+	// Name, Array{Rows,Cols,Flow}, SPM{CapacityBytes}, Mem{FreqHz,
+	// Bandwidth, Latency, Channels}, TLBEntries, TLBWalkCycles = 11
+	// leaves. Name is a display label with no simulation effect and is
+	// deliberately excluded from the digest; the other 10 are rendered.
+	if got := countLeafFields(reflect.TypeOf(npu.Config{})); got != 11 {
+		t.Fatalf("npu.Config has %d leaf fields (expected 11): update exp.ConfigDigest to cover the new field, then this count", got)
+	}
+}
+
+// TestConfigDigestSensitivity checks every simulated field perturbs the
+// digest and the display-only Name does not.
+func TestConfigDigestSensitivity(t *testing.T) {
+	base := npu.SmallNPU()
+	ref := ConfigDigest(base)
+	if ConfigDigest(base) != ref {
+		t.Fatal("digest not deterministic")
+	}
+	renamed := base
+	renamed.Name = "other"
+	if ConfigDigest(renamed) != ref {
+		t.Error("Name is display-only and must not change the digest")
+	}
+	perturb := []func(*npu.Config){
+		func(c *npu.Config) { c.Array.Rows++ },
+		func(c *npu.Config) { c.Array.Cols++ },
+		func(c *npu.Config) { c.Array.Flow++ },
+		func(c *npu.Config) { c.SPM.CapacityBytes++ },
+		func(c *npu.Config) { c.Mem.FreqHz++ },
+		func(c *npu.Config) { c.Mem.BandwidthBytesPerSec++ },
+		func(c *npu.Config) { c.Mem.LatencyCycles++ },
+		func(c *npu.Config) { c.Mem.Channels++ },
+		func(c *npu.Config) { c.TLBEntries++ },
+		func(c *npu.Config) { c.TLBWalkCycles++ },
+	}
+	for i, f := range perturb {
+		cfg := base
+		f(&cfg)
+		if ConfigDigest(cfg) == ref {
+			t.Errorf("perturbation %d did not change the digest", i)
+		}
+	}
+}
+
+func TestCellKeyDigest(t *testing.T) {
+	base := CellKey{Model: "df", Class: Small, Scheme: memprot.TreeLess, Count: 1}
+	ref := base.Digest(CodeVersion)
+	if base.Digest(CodeVersion) != ref {
+		t.Fatal("cell digest not deterministic")
+	}
+	variants := []CellKey{
+		{Model: "res", Class: Small, Scheme: memprot.TreeLess, Count: 1},
+		{Model: "df", Class: Large, Scheme: memprot.TreeLess, Count: 1},
+		{Model: "df", Class: Small, Scheme: memprot.Baseline, Count: 1},
+		{Model: "df", Class: Small, Scheme: memprot.TreeLess, Count: 2},
+	}
+	for i, v := range variants {
+		if v.Digest(CodeVersion) == ref {
+			t.Errorf("variant %d collided with the base cell", i)
+		}
+	}
+	if base.Digest("other-version") == ref {
+		t.Error("code-version bump must invalidate the digest")
+	}
+}
+
+func TestDigestConcatenationSafety(t *testing.T) {
+	if Digest("v", "ab", "c") == Digest("v", "a", "bc") {
+		t.Error("part boundaries must be digested (length-prefixed), not concatenated")
+	}
+	if Digest("v", "a") == Digest("va") {
+		t.Error("version and parts must not concatenate")
+	}
+}
+
+func TestDigestParamsOrderIndependent(t *testing.T) {
+	a := DigestParams("v", "figure", map[string]string{"id": "fig14", "models": "df,res"})
+	b := DigestParams("v", "figure", map[string]string{"models": "df,res", "id": "fig14"})
+	if a != b {
+		t.Error("param digest must not depend on map construction order")
+	}
+	c := DigestParams("v", "figure", map[string]string{"id": "fig15", "models": "df,res"})
+	if a == c {
+		t.Error("distinct params must digest differently")
+	}
+}

@@ -180,6 +180,7 @@ func compute[K comparable, V any](r *Runner, m map[K]*cell[V], k K, kind, label 
 	r.mu.Lock()
 	if c, ok := m[k]; ok {
 		r.mu.Unlock()
+		r.log.noteHit()
 		<-c.done
 		return c.val, c.err
 	}

@@ -86,7 +86,20 @@ type RunLog struct {
 	mu     sync.Mutex
 	cells  []CellTime
 	byKind map[string]time.Duration
+
+	// cacheHits counts singleflight-cache lookups that were served from
+	// an already-computed (or in-flight) cell instead of computing fresh.
+	cacheHits atomic.Uint64
 }
+
+// noteHit records one memoized cell lookup.
+func (l *RunLog) noteHit() { l.cacheHits.Add(1) }
+
+// CacheHits reports how many cell lookups were served from the runner's
+// in-memory singleflight cache rather than computed. Together with
+// CellsDone (fresh computations) it quantifies how much the harness's
+// memoization collapses a figure/sweep grid.
+func (l *RunLog) CacheHits() uint64 { return l.cacheHits.Load() }
 
 // note records one freshly computed cell and, when progress is non-nil,
 // emits a one-line status update.

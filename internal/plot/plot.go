@@ -145,3 +145,41 @@ func escape(s string) string {
 	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
 	return r.Replace(s)
 }
+
+// ClassSeries is one figure series tagged with the NPU class it belongs
+// to, the shape the experiment harness's figures decompose into.
+type ClassSeries struct {
+	Class  string
+	Label  string
+	Values []float64
+}
+
+// ClassChart pairs a rendered chart with the class it covers.
+type ClassChart struct {
+	Class string
+	Chart Chart
+}
+
+// ClassCharts splits class-tagged series into one grouped bar chart per
+// class (one chart per NPU class keeps the figures readable), preserving
+// first-seen class order. Shared by cmd/tnpu-plot and the tnpu-serve SVG
+// artifact endpoint so both render figures identically.
+func ClassCharts(id, title string, categories []string, series []ClassSeries, refLine float64, yLabel string) []ClassChart {
+	var out []ClassChart
+	idx := make(map[string]int)
+	for _, s := range series {
+		i, ok := idx[s.Class]
+		if !ok {
+			i = len(out)
+			idx[s.Class] = i
+			out = append(out, ClassChart{Class: s.Class, Chart: Chart{
+				Title:      fmt.Sprintf("%s — %s NPU (%s)", id, s.Class, title),
+				Categories: categories,
+				RefLine:    refLine,
+				YLabel:     yLabel,
+			}})
+		}
+		out[i].Chart.Series = append(out[i].Chart.Series, Series{Label: s.Label, Values: s.Values})
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+)
+
+// eventBus fans the runner's RunLog progress lines out to SSE
+// subscribers. It implements io.Writer so it can be installed as the
+// exp.Runner's Progress sink: each completed-cell line becomes one event.
+//
+// Delivery is best-effort by design: a slow subscriber must never stall a
+// simulation, so a full subscriber buffer drops the event (counted) rather
+// than blocking the producer.
+type eventBus struct {
+	mu   sync.Mutex
+	subs map[chan string]struct{}
+	part []byte // carry for writes that end mid-line
+
+	published atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// subscriberBuffer is per-subscriber: deep enough to absorb bursts of
+// cell completions, small enough to bound memory per connection.
+const subscriberBuffer = 256
+
+func newEventBus() *eventBus {
+	return &eventBus{subs: make(map[chan string]struct{})}
+}
+
+// Write splits p into lines and publishes each completed line as one
+// event. Safe for concurrent use (the RunLog emits progress lines from
+// every worker goroutine).
+func (b *eventBus) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	b.part = append(b.part, p...)
+	for {
+		nl := bytes.IndexByte(b.part, '\n')
+		if nl < 0 {
+			break
+		}
+		line := string(b.part[:nl])
+		b.part = b.part[nl+1:]
+		b.publishLocked(line)
+	}
+	b.mu.Unlock()
+	return len(p), nil
+}
+
+// publishLocked delivers one line to every subscriber, dropping on full
+// buffers. Caller holds b.mu.
+func (b *eventBus) publishLocked(line string) {
+	b.published.Add(1)
+	// Each subscriber gets the same line on its own channel; delivery
+	// order across independent subscribers is unobservable.
+	for ch := range b.subs { //tnpu:orderfree
+		select {
+		case ch <- line:
+		default:
+			b.dropped.Add(1)
+		}
+	}
+}
+
+// subscribe registers a new listener; the caller must unsubscribe it.
+func (b *eventBus) subscribe() chan string {
+	ch := make(chan string, subscriberBuffer)
+	b.mu.Lock()
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	return ch
+}
+
+func (b *eventBus) unsubscribe(ch chan string) {
+	b.mu.Lock()
+	delete(b.subs, ch)
+	b.mu.Unlock()
+}
+
+// subscribers reports the current listener count.
+func (b *eventBus) subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}

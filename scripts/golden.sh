@@ -8,6 +8,10 @@
 # Usage:
 #   scripts/golden.sh check      # diff current output against fixtures (CI)
 #   scripts/golden.sh generate   # regenerate fixtures after an intended change
+#
+# Set GOLDEN_OUTDIR to keep the generated outputs in that directory
+# (CI uploads them as an artifact when the diff fails); by default they
+# land in a temp directory removed at exit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,15 +25,24 @@ cases=(
   "hwcost.txt|-only hwcost"
 )
 
-bin="$(mktemp -d)/tnpu-bench"
-trap 'rm -rf "$(dirname "$bin")"' EXIT
+if [ -n "${GOLDEN_OUTDIR:-}" ]; then
+  mkdir -p "$GOLDEN_OUTDIR"
+  outdir="$GOLDEN_OUTDIR"
+  bindir="$(mktemp -d)"
+  trap 'rm -rf "$bindir"' EXIT
+else
+  outdir="$(mktemp -d)"
+  bindir="$outdir"
+  trap 'rm -rf "$outdir"' EXIT
+fi
+bin="$bindir/tnpu-bench"
 go build -o "$bin" ./cmd/tnpu-bench
 
 status=0
 for c in "${cases[@]}"; do
   name="${c%%|*}"
   args="${c#*|}"
-  out="$(dirname "$bin")/$name"
+  out="$outdir/$name"
   # shellcheck disable=SC2086  # word splitting of $args is intended
   "$bin" $args >"$out"
   case "$mode" in

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Boot-and-hammer smoke test for tnpu-serve.
+#
+# Builds the server binary, boots it against a fresh disk cache, and
+# drives it with the in-repo load-test client
+# (TestLoadAgainstExternalServer): hundreds of concurrent requests, zero
+# 5xx tolerated, cross-request cache hits required. Then the server is
+# restarted over the same cache directory and hammered again with
+# TNPU_SERVE_EXPECT_WARM=1, proving the disk cache survives a process
+# restart and the warm process computes nothing.
+#
+# Usage:
+#   scripts/serve_smoke.sh            # default 300 requests per leg
+#   SERVE_SMOKE_LOAD=2000 scripts/serve_smoke.sh
+#
+# Set SERVE_SMOKE_OUTDIR to keep the server logs in that directory (CI
+# uploads them as an artifact on failure); by default everything lands in
+# a temp directory removed at exit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+load="${SERVE_SMOKE_LOAD:-300}"
+work="$(mktemp -d)"
+bin="$work/tnpu-serve"
+cache="$work/cache"
+if [ -n "${SERVE_SMOKE_OUTDIR:-}" ]; then
+  mkdir -p "$SERVE_SMOKE_OUTDIR"
+  logdir="$SERVE_SMOKE_OUTDIR"
+else
+  logdir="$work"
+fi
+server_pid=""
+
+cleanup() {
+  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+    kill "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$bin" ./cmd/tnpu-serve
+
+# boot starts the server on an ephemeral port and extracts the bound
+# address from its boot line:
+#   tnpu-serve: listening on http://127.0.0.1:NNNNN (cache DIR)
+# Sets $server_pid and $server_url (no subshell — the pid must survive
+# into the cleanup trap).
+server_url=""
+boot() {
+  local log="$1"
+  "$bin" -addr 127.0.0.1:0 -cache "$cache" -models df >"$log" 2>&1 &
+  server_pid=$!
+  server_url=""
+  for _ in $(seq 1 100); do
+    server_url="$(sed -n 's/^tnpu-serve: listening on \(http:\/\/[^ ]*\).*/\1/p' "$log")"
+    [ -n "$server_url" ] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+      echo "serve_smoke: server died during boot:" >&2
+      cat "$log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [ -z "$server_url" ]; then
+    echo "serve_smoke: no boot line after 10s:" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+}
+
+stop() {
+  kill "$server_pid"
+  wait "$server_pid" 2>/dev/null || true
+  server_pid=""
+}
+
+echo "== cold leg: $load requests against a fresh cache =="
+boot "$logdir/cold.log"
+TNPU_SERVE_URL="$server_url" TNPU_SERVE_LOAD="$load" \
+  go test ./internal/serve -run TestLoadAgainstExternalServer -count=1 -v
+stop
+
+echo "== warm leg: $load requests after a restart, zero computes allowed =="
+boot "$logdir/warm.log"
+TNPU_SERVE_URL="$server_url" TNPU_SERVE_LOAD="$load" TNPU_SERVE_EXPECT_WARM=1 \
+  go test ./internal/serve -run TestLoadAgainstExternalServer -count=1 -v
+stop
+
+echo "serve_smoke: both legs clean"
