@@ -35,6 +35,7 @@ import (
 
 	"tnpu"
 	"tnpu/internal/exp"
+	"tnpu/internal/memprot"
 	"tnpu/internal/npu"
 )
 
@@ -113,13 +114,14 @@ func mainRun() int {
 	if *attackFlag {
 		code = runAttack(r)
 	} else {
-		code = run(r, *onlyFlag, *jsonFlag, *mdFlag)
+		code = run(r, *onlyFlag, *jsonFlag, *mdFlag, *verboseFlag)
 	}
 	if *verboseFlag {
 		fmt.Fprint(os.Stderr, r.Log().Summary())
 		hits, misses := r.MemoStats()
-		fmt.Fprintf(os.Stderr, "layer memo: %d hits, %d misses; cell cache: %d hits\n",
-			hits, misses, r.Log().CacheHits())
+		jhits, jmisses := r.MultiCacheStats()
+		fmt.Fprintf(os.Stderr, "layer memo: %d hits, %d misses; joint-run cache: %d hits, %d misses; cell cache: %d hits\n",
+			hits, misses, jhits, jmisses, r.Log().CacheHits())
 	}
 	return code
 }
@@ -151,7 +153,7 @@ func runAttack(r *exp.Runner) int {
 }
 
 // run executes the selected artifacts and returns the process exit code.
-func run(r *exp.Runner, only string, asJSON bool, mdPath string) int {
+func run(r *exp.Runner, only string, asJSON bool, mdPath string, verbose bool) int {
 	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "tnpu-bench:", err)
 		return 1
@@ -190,7 +192,17 @@ func run(r *exp.Runner, only string, asJSON bool, mdPath string) int {
 		{"fig5", figure(r.Figure5)},
 		{"fig14", figure(r.Figure14)},
 		{"fig15", figure(r.Figure15)},
-		{"fig16", figure(r.Figure16)},
+		{"fig16", func() error {
+			f, err := r.Figure16()
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.String())
+			if verbose {
+				return printAttribution(r)
+			}
+			return nil
+		}},
 		{"fig17", figure(r.Figure17)},
 		{"storage", func() error {
 			per, avg, max, err := r.VersionStorage(exp.Small)
@@ -264,6 +276,34 @@ func run(r *exp.Runner, only string, asJSON bool, mdPath string) int {
 		fmt.Println("Paper reference: 10.0%/13.3% (small), 7.5%/8.7% (large)")
 	}
 	return 0
+}
+
+// printAttribution dumps each fig16 cell's per-NPU served-work split —
+// the per-tenant QoS view of the 3-NPU co-tenant runs (cells the figure
+// already computed, so this reads the cache). Only measured schemes the
+// -schemes filter admits are shown.
+func printAttribution(r *exp.Runner) error {
+	fmt.Println("Per-NPU attribution (3-NPU co-tenant runs):")
+	for _, class := range exp.Classes() {
+		for _, scheme := range []memprot.Scheme{memprot.Baseline, memprot.TreeLess} {
+			if !r.SchemeEnabled(scheme) {
+				continue
+			}
+			for _, short := range r.Models {
+				res, err := r.Run(short, class, scheme, 3)
+				if err != nil {
+					return err
+				}
+				for i, n := range res.NPUs {
+					fmt.Printf("  %-5s %-5s %-12s npu%d: cycles=%d blocks=%d rd=%.1fMB wr=%.1fMB runs=%d\n",
+						class, short, scheme, i, n.Cycles, n.Blocks,
+						float64(n.ReadBytes)/(1<<20), float64(n.WriteBytes)/(1<<20), n.Runs)
+				}
+			}
+		}
+	}
+	fmt.Println()
+	return nil
 }
 
 // figureKeys names the AllFigures results in order.

@@ -47,6 +47,21 @@ func (w *IssueWindow) Note(busFree uint64) uint64 {
 // Depth returns the window's outstanding-request bound.
 func (w *IssueWindow) Depth() int { return len(w.slots) }
 
+// MaxSlot returns the latest channel-clear time held in the window — an
+// upper bound on every gate the window can hand back before new requests
+// overwrite its slots.
+//
+//tnpu:noalloc
+func (w *IssueWindow) MaxSlot() uint64 {
+	var max uint64
+	for _, s := range w.slots {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
 // StreamRun issues n consecutive BlockBytes transfers starting at addr,
 // gated by the issue window exactly as the per-block DMA loop does:
 //

@@ -268,3 +268,18 @@ func (b *Bus) Utilization() float64 {
 func (b *Bus) CyclesForBytes(bytes uint64) uint64 {
 	return (bytes*b.aggNum + b.aggDen - 1) / b.aggDen
 }
+
+// WorstChannelCycles returns an upper bound on the bus cycles any one
+// channel needs to move bytes, rounded up: the single-channel rate (n x
+// the aggregate cycles/byte on an n-channel bus), as if every byte routed
+// to the same channel. ok=false when the multiplication would overflow;
+// callers treating this as a safety bound must then refuse the shortcut.
+//
+//tnpu:noalloc
+func (b *Bus) WorstChannelCycles(bytes uint64) (cycles uint64, ok bool) {
+	num, den := b.chans[0].num, b.chans[0].den
+	if num != 0 && bytes > (1<<62)/num {
+		return 0, false
+	}
+	return (bytes*num + den - 1) / den, true
+}

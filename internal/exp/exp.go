@@ -85,6 +85,7 @@ type Runner struct {
 	mu      sync.Mutex
 	progs   map[progKey]*cell[*compiler.Program]
 	runs    map[runKey]*cell[multinpu.Result]
+	mixed   map[mixedKey]*cell[multinpu.Result]
 	e2es    map[e2eKey]*cell[e2e.Result]
 	attacks map[attackKey]*cell[*attack.Report]
 
@@ -96,6 +97,14 @@ type Runner struct {
 	// every single-NPU machine the runner builds; safe under the worker
 	// pool.
 	memo *npu.LayerMemo
+
+	// multiCache memoizes whole multi-NPU results by (scheme, config,
+	// program tuple). The singleflight maps above already collapse repeat
+	// requests for the same cell, so within one runner this mostly pays
+	// off when a homogeneous Run and a same-tuple RunMixed meet — but it
+	// also makes the cache observable (MultiCacheStats) and gives serve a
+	// warm in-memory layer under its disk cache.
+	multiCache *multinpu.RunCache
 
 	freezeOnce sync.Once
 	frozen     frozenConfig
@@ -159,6 +168,15 @@ type runKey struct {
 	count  int
 }
 
+// mixedKey identifies one mixed-tenancy cell: an ordered workload tuple
+// (order matters — it fixes which context region each program occupies)
+// under one class and scheme.
+type mixedKey struct {
+	shorts string // comma-joined model shorts, in NPU order
+	class  Class
+	scheme memprot.Scheme
+}
+
 type e2eKey struct {
 	short  string
 	class  Class
@@ -201,13 +219,15 @@ func NewRunner(models ...string) *Runner {
 		models = model.ShortNames()
 	}
 	return &Runner{
-		Models:    models,
-		progs:     make(map[progKey]*cell[*compiler.Program]),
-		runs:      make(map[runKey]*cell[multinpu.Result]),
-		e2es:      make(map[e2eKey]*cell[e2e.Result]),
-		attacks:   make(map[attackKey]*cell[*attack.Report]),
-		sweepRuns: make(map[sweepRunKey]*cell[uint64]),
-		memo:      npu.NewLayerMemo(),
+		Models:     models,
+		progs:      make(map[progKey]*cell[*compiler.Program]),
+		runs:       make(map[runKey]*cell[multinpu.Result]),
+		mixed:      make(map[mixedKey]*cell[multinpu.Result]),
+		e2es:       make(map[e2eKey]*cell[e2e.Result]),
+		attacks:    make(map[attackKey]*cell[*attack.Report]),
+		sweepRuns:  make(map[sweepRunKey]*cell[uint64]),
+		memo:       npu.NewLayerMemo(),
+		multiCache: multinpu.NewRunCache(),
 	}
 }
 
@@ -308,12 +328,45 @@ func (r *Runner) Run(short string, class Class, scheme memprot.Scheme, count int
 		if err != nil {
 			return multinpu.Result{}, err
 		}
-		res, err := multinpu.RunMemo(p, scheme, class.Config(), count, r.memo)
+		res, err := multinpu.RunCached(p, scheme, class.Config(), count, r.memo, r.multiCache)
 		if err != nil {
 			return multinpu.Result{}, fmt.Errorf("exp: %s/%s/%s x%d: %w", short, class, scheme, count, err)
 		}
 		return res, nil
 	})
+}
+
+// RunMixed simulates (once) a mixed-tenancy cell: one program per NPU, in
+// order, under a shared bus and protection engine. The tuple is a cell
+// like any other — singleflighted in memory and addressable by serve's
+// disk cache.
+func (r *Runner) RunMixed(shorts []string, class Class, scheme memprot.Scheme) (multinpu.Result, error) {
+	joined := strings.Join(shorts, ",")
+	k := mixedKey{joined, class, scheme}
+	label := fmt.Sprintf("mixed[%s]/%s/%s", joined, class, scheme)
+	return compute(r, r.mixed, k, "simulate", label, func() (multinpu.Result, error) {
+		if len(shorts) == 0 {
+			return multinpu.Result{}, fmt.Errorf("exp: mixed-tenancy run needs at least one model")
+		}
+		progs := make([]*compiler.Program, len(shorts))
+		for i, short := range shorts {
+			p, err := r.Program(short, class)
+			if err != nil {
+				return multinpu.Result{}, err
+			}
+			progs[i] = p
+		}
+		res, err := multinpu.RunMixedCached(progs, scheme, class.Config(), r.memo, r.multiCache)
+		if err != nil {
+			return multinpu.Result{}, fmt.Errorf("exp: mixed[%s]/%s/%s: %w", joined, class, scheme, err)
+		}
+		return res, nil
+	})
+}
+
+// MultiCacheStats reports the shared joint-run cache's lookup outcomes.
+func (r *Runner) MultiCacheStats() (hits, misses uint64) {
+	return r.multiCache.Stats()
 }
 
 // EndToEnd simulates (once) the Sec. V-D flow.

@@ -144,6 +144,49 @@ func (r *Runner) LatencySweep(short string) (Sweep, error) {
 	return r.sweepOver("DRAM latency", short, points)
 }
 
+// NPUCountSweep is the scalability curve for one workload: normalized
+// execution time at 1–3 NPUs, per scheme and class. It returns a Figure
+// (class-tagged series over NPU-count categories) rather than a Sweep so
+// the serving layer can render it with plot.ClassCharts like the paper
+// figures; unlike Figure16 it covers one model at every measured scheme
+// instead of every model at two schemes.
+func (r *Runner) NPUCountSweep(short string) (Figure, error) {
+	f := Figure{
+		ID:    "npucount",
+		Title: fmt.Sprintf("Execution time vs NPU count on %q (normalized to same-count unsecure)", short),
+	}
+	counts := []string{"1 NPU", "2 NPU", "3 NPU"}
+	schemes := r.schemeSubset(memprot.Baseline, memprot.TreeLess, memprot.EncryptOnly)
+	classes := Classes()
+	values := make([]float64, len(classes)*len(schemes)*len(counts))
+	err := r.forEach(len(values), func(i int) error {
+		class := classes[i/(len(schemes)*len(counts))]
+		scheme := schemes[i/len(counts)%len(schemes)]
+		count := i%len(counts) + 1
+		v, err := r.normalized(short, class, scheme, count)
+		if err != nil {
+			return err
+		}
+		values[i] = v
+		return nil
+	})
+	if err != nil {
+		return f, err
+	}
+	for ci, class := range classes {
+		for si, scheme := range schemes {
+			base := (ci*len(schemes) + si) * len(counts)
+			f.Series = append(f.Series, Series{
+				Class:  class,
+				Label:  scheme.String(),
+				Models: counts,
+				Values: values[base : base+len(counts)],
+			})
+		}
+	}
+	return f, nil
+}
+
 // BandwidthSweep is the standalone form of Runner.BandwidthSweep.
 func BandwidthSweep(short string) (Sweep, error) { return NewRunner(short).BandwidthSweep(short) }
 
@@ -152,6 +195,9 @@ func SPMSweep(short string) (Sweep, error) { return NewRunner(short).SPMSweep(sh
 
 // LatencySweep is the standalone form of Runner.LatencySweep.
 func LatencySweep(short string) (Sweep, error) { return NewRunner(short).LatencySweep(short) }
+
+// NPUCountSweep is the standalone form of Runner.NPUCountSweep.
+func NPUCountSweep(short string) (Figure, error) { return NewRunner(short).NPUCountSweep(short) }
 
 // LayerShare is one layer's slice of the execution under each scheme.
 type LayerShare struct {

@@ -1,0 +1,163 @@
+package memprot
+
+import (
+	"tnpu/internal/dram"
+)
+
+// This file gives each engine a cheap, sound upper bound on how far bus
+// time can advance while it serves an n-block run — the arithmetic behind
+// multi-NPU horizon-bounded streak arbitration (DESIGN.md §6f). A machine
+// may burst a whole run between two arbitration scans only if every block
+// of the run would still have been issued before any other machine became
+// ready; the bound makes that provable without simulating.
+//
+// Soundness argument (data-flow induction): every time the engine computes
+// during a serve is built from max() over existing times plus transfer
+// cycles, DRAM latency on serialized fetch chains, and per-block issue
+// steps. Maintain the invariant that every time in the system (channel
+// horizons, remembered gap ends, issue-window slots, walk MSHRs, the
+// issue cursor) is at most a running bound B. Each operation then yields a
+// result at most B plus its own cost, so
+//
+//	B_final <= max(sources) + sum(all increments)
+//
+// where the increments are summed globally — no credit is taken for
+// channel parallelism or cache hits, making the bound loose (every access
+// is assumed to miss, every victim dirty) but unconditionally sound:
+//
+//   - transfers: each charges at most ceil-per-transfer cycles at the
+//     single-channel rate, so all of them together cost at most
+//     WorstChannelCycles(total bytes) + one rounding cycle per transfer;
+//   - latency chains: each serialized ReadAt that feeds a subsequent bus
+//     charge (the baseline tree walk) injects Bus.Latency() once;
+//   - issue stepping: the DMA loop advances the cursor by at least one
+//     cycle per block.
+//
+// Crypto pipeline latencies (OTP/XTS/MAC) feed only dataAt — never a bus
+// charge or the issue cursor — so they are excluded. The npu.Machine
+// re-checks the bound against the actually reached issue time after every
+// burst and panics on violation, and FuzzMultiVsBlock hunts for inputs
+// that break it.
+
+// RunBounder is implemented by engines whose run service admits the
+// closed-form time bound above. RunBoundBase returns the engine-side
+// sources of the bound (bus horizon plus any engine-held times);
+// RunBoundIncr returns the summed increments for an n-block run at addr —
+// pure O(1) arithmetic, ok=false when it would overflow. RunBurstSafe may
+// inspect engine state in O(covered metadata lines) and is consulted only
+// after the arithmetic bound already fits under the horizon: it rejects
+// runs whose service can charge bursts the increment model excludes
+// (baseline minor-counter overflow re-encryption).
+type RunBounder interface {
+	RunBoundBase() uint64
+	RunBoundIncr(addr uint64, n int, write bool) (incr uint64, ok bool)
+	RunBurstSafe(addr uint64, n int, write bool) bool
+}
+
+// flatRunBound covers the counter-less engines (unsecure, encrypt-only):
+// n data transfers, no metadata, no latency chains.
+//
+//tnpu:noalloc
+func flatRunBound(bus *dram.Bus, n int) (uint64, bool) {
+	un := uint64(n)
+	wcc, ok := bus.WorstChannelCycles(un * dram.BlockBytes)
+	if !ok {
+		return 0, false
+	}
+	// + n rounding cycles (one per transfer) + n issue steps.
+	return wcc + 2*un, true
+}
+
+func (u *unsecure) RunBoundBase() uint64 { return u.cfg.Bus.Now() }
+
+//tnpu:noalloc
+func (u *unsecure) RunBoundIncr(addr uint64, n int, write bool) (uint64, bool) {
+	return flatRunBound(u.cfg.Bus, n)
+}
+
+func (u *unsecure) RunBurstSafe(addr uint64, n int, write bool) bool { return true }
+
+func (e *encryptOnly) RunBoundBase() uint64 { return e.cfg.Bus.Now() }
+
+//tnpu:noalloc
+func (e *encryptOnly) RunBoundIncr(addr uint64, n int, write bool) (uint64, bool) {
+	return flatRunBound(e.cfg.Bus, n)
+}
+
+func (e *encryptOnly) RunBurstSafe(addr uint64, n int, write bool) bool { return true }
+
+func (t *treeless) RunBoundBase() uint64 { return t.cfg.Bus.Now() }
+
+// RunBoundIncr: n data transfers plus at most two transfers per covered
+// MAC line (dirty-victim writeback + fetch). Every treeless run charge is
+// presented at the issue-cursor time — the MAC fetch's DRAM latency feeds
+// only dataAt — so no latency-chain term appears.
+//
+//tnpu:noalloc
+func (t *treeless) RunBoundIncr(addr uint64, n int, write bool) (uint64, bool) {
+	transfers := uint64(n) + 2*uint64(macLineCount(addr, t.cfg.MACSlotBytes, n))
+	wcc, ok := t.cfg.Bus.WorstChannelCycles(transfers * dram.BlockBytes)
+	if !ok {
+		return 0, false
+	}
+	return wcc + transfers + uint64(n), true
+}
+
+func (t *treeless) RunBurstSafe(addr uint64, n int, write bool) bool { return true }
+
+// RunBoundBase folds in the walk MSHRs: a counter miss early in the run
+// can queue behind a walk still in flight from before the horizon was
+// computed.
+//
+//tnpu:noalloc
+func (b *baseline) RunBoundBase() uint64 {
+	base := b.cfg.Bus.Now()
+	for _, f := range b.walkFree {
+		if f > base {
+			base = f
+		}
+	}
+	return base
+}
+
+// RunBoundIncr assumes every covered counter line misses and walks the
+// full tree with a dirty victim at every level, every MAC line misses
+// dirty, and every walk fetch serializes behind the previous one:
+//
+//   - per counter line: victim writeback + its touchParent cascade (at
+//     most one hash transfer per level), the walk's counter fetch plus per
+//     level one hash writeback + cascade + one parent fetch, and the
+//     next-line prefetch with its own dirty eviction — counted whether or
+//     not the prefetch ablation is on;
+//   - per MAC line: writeback + fetch (read fill or write RMW);
+//   - latency: the walk chain serializes at most Levels+1 DRAM reads per
+//     counter line, each injecting Bus.Latency() into later charges.
+//
+// Minor-counter overflow re-encryption bursts are NOT modeled here;
+// RunBurstSafe rejects write runs with a pending overflow instead.
+//
+//tnpu:noalloc
+func (b *baseline) RunBoundIncr(addr uint64, n int, write bool) (uint64, bool) {
+	firstLine, _ := b.geo.CounterIndex(addr / dram.BlockBytes)
+	lastLine, _ := b.geo.CounterIndex(addr/dram.BlockBytes + uint64(n) - 1)
+	ctrLines := lastLine - firstLine + 1
+	lv := uint64(b.geo.Levels())
+	perLine := (1 + lv) + (1 + lv*(2+lv)) + (2 + lv)
+	macLines := uint64(macLineCount(addr, b.cfg.MACSlotBytes, n))
+
+	transfers := uint64(n) + 2*macLines + ctrLines*perLine
+	wcc, ok := b.cfg.Bus.WorstChannelCycles(transfers * dram.BlockBytes)
+	if !ok {
+		return 0, false
+	}
+	latency := ctrLines * (lv + 1) * b.cfg.Bus.Latency()
+	return wcc + transfers + uint64(n) + latency, true
+}
+
+// RunBurstSafe rejects write runs that would wrap a 7-bit minor counter:
+// the re-encryption burst (Arity x 2 blocks) is far outside RunBoundIncr's
+// increment model. The overflowPending scan is O(covered counter lines),
+// which is why it runs only after the arithmetic bound has already passed.
+func (b *baseline) RunBurstSafe(addr uint64, n int, write bool) bool {
+	return !write || !b.overflowPending(addr, n)
+}

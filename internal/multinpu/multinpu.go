@@ -7,6 +7,7 @@ package multinpu
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"tnpu/internal/compiler"
 	"tnpu/internal/dram"
@@ -23,6 +24,19 @@ const contextStride uint64 = 256 << 20
 // fully protected region.
 const slotStride uint64 = 2 << 20
 
+// NPUStats attributes served work to one NPU — the per-tenant QoS view of
+// a co-tenant run. Cycles, Blocks, and byte counters are identical across
+// execution paths (pinned by the differential suite); Runs counts
+// engine-level run bursts and is observability for the batched path only
+// (zero under block-granular interleave).
+type NPUStats struct {
+	Cycles     uint64
+	Blocks     uint64
+	ReadBytes  uint64
+	WriteBytes uint64
+	Runs       uint64
+}
+
 // Result summarizes a multi-NPU run.
 type Result struct {
 	Scheme memprot.Scheme
@@ -30,24 +44,43 @@ type Result struct {
 	// normalized execution time for an n-NPU run.
 	Cycles uint64
 	// PerNPU is each NPU's own completion time.
-	PerNPU  []uint64
+	PerNPU []uint64
+	// NPUs is the per-NPU served-work attribution (PerNPU cycles again,
+	// plus block/byte/run counters).
+	NPUs    []NPUStats
 	Traffic stats.Traffic
 	Counter stats.CacheStats
 	Hash    stats.CacheStats
 	MAC     stats.CacheStats
 }
 
+// forceBlockInterleave selects the block-granular reference arbitration
+// for every subsequent multi-NPU run; the differential harness uses it for
+// A/B equivalence checks.
+var forceBlockInterleave atomic.Bool
+
+// ForceBlockInterleave globally selects the block-granular reference
+// arbitration loop for multi-NPU runs started after the call.
+func ForceBlockInterleave(on bool) { forceBlockInterleave.Store(on) }
+
 // Run executes count copies of prog (the paper runs the same inference
 // model on every NPU) under one shared bus and protection engine.
 func Run(prog *compiler.Program, scheme memprot.Scheme, cfg npu.Config, count int) (Result, error) {
-	return RunMemo(prog, scheme, cfg, count, nil)
+	return RunCached(prog, scheme, cfg, count, nil, nil)
 }
 
-// RunMemo is Run with a shared layer memo (may be nil). Memoization
-// applies to single-NPU runs, which execute whole DMA runs on one machine;
-// multi-NPU runs interleave machines block-by-block on the shared engine,
-// so their layers have no private state signature and always run live.
+// RunMemo is Run with a shared layer memo (may be nil); see RunCached.
 func RunMemo(prog *compiler.Program, scheme memprot.Scheme, cfg npu.Config, count int, memo *npu.LayerMemo) (Result, error) {
+	return RunCached(prog, scheme, cfg, count, memo, nil)
+}
+
+// RunCached is Run with a shared layer memo and a shared joint-run cache,
+// either of which may be nil. Layer memoization applies to single-NPU
+// runs, which execute whole DMA runs on one machine; multi-NPU runs
+// interleave machines on the shared engine, so their layers have no
+// private state signature and always run live — the joint-run cache is
+// what makes repeated multi-NPU cells (figure sweeps, serving) cheap.
+func RunCached(prog *compiler.Program, scheme memprot.Scheme, cfg npu.Config, count int, memo *npu.LayerMemo, cache *RunCache) (Result, error) {
 	if count <= 0 {
 		return Result{}, fmt.Errorf("multinpu: count must be positive, got %d", count)
 	}
@@ -55,7 +88,7 @@ func RunMemo(prog *compiler.Program, scheme memprot.Scheme, cfg npu.Config, coun
 	for i := range progs {
 		progs[i] = prog
 	}
-	return runMixed(progs, scheme, cfg, memo)
+	return RunMixedCached(progs, scheme, cfg, memo, cache)
 }
 
 // RunMixed executes a different program per NPU — the mixed-tenancy
@@ -63,7 +96,22 @@ func RunMemo(prog *compiler.Program, scheme memprot.Scheme, cfg npu.Config, coun
 // region and version table; only bandwidth, the security engine, and the
 // metadata caches are shared).
 func RunMixed(progs []*compiler.Program, scheme memprot.Scheme, cfg npu.Config) (Result, error) {
-	return runMixed(progs, scheme, cfg, nil)
+	return RunMixedCached(progs, scheme, cfg, nil, nil)
+}
+
+// RunMixedCached is RunMixed with a shared layer memo and joint-run cache
+// (either may be nil), giving mixed-tenancy runs the same memo/fast-path
+// treatment as RunMemo's homogeneous runs.
+func RunMixedCached(progs []*compiler.Program, scheme memprot.Scheme, cfg npu.Config, memo *npu.LayerMemo, cache *RunCache) (Result, error) {
+	if res, ok := cache.lookup(progs, scheme, cfg); ok {
+		return res, nil
+	}
+	res, err := runMixed(progs, scheme, cfg, memo)
+	if err != nil {
+		return Result{}, err
+	}
+	cache.store(progs, scheme, cfg, &res)
+	return res, nil
 }
 
 func runMixed(progs []*compiler.Program, scheme memprot.Scheme, cfg npu.Config, memo *npu.LayerMemo) (Result, error) {
@@ -99,8 +147,63 @@ func runMixed(progs []*compiler.Program, scheme memprot.Scheme, cfg npu.Config, 
 		return assemble(scheme, eng, machines), nil
 	}
 
-	// Block-granular arbitration: always serve the machine whose next
-	// block is ready earliest; ties rotate so no NPU starves.
+	if forceBlockInterleave.Load() || !machines[0].Batched() {
+		arbitrateBlocks(machines)
+	} else {
+		arbitrate(machines)
+	}
+	return assemble(scheme, eng, machines), nil
+}
+
+// arbitrate is the horizon-bounded streak arbitration loop (DESIGN.md
+// §6f): each scan selects the earliest-ready machine exactly as the block
+// reference does, but also computes the interaction horizon — the minimum
+// ready time over the other machines — and lets the winner serve as much
+// of its instruction as provably issues strictly below that horizon.
+// Other machines' ready times cannot change while the winner serves
+// (NextReady mutates state only for machines between instructions, and
+// every machine is active or exhausted after a scan), so the horizon is
+// frozen for the duration of the streak and the serve order is exactly
+// the reference's. Ties rotate as in the reference: the winner keeps
+// serving only while strictly below every other ready time.
+//
+//tnpu:noalloc
+func arbitrate(machines []*npu.Machine) {
+	count := len(machines)
+	last := 0
+	for {
+		best, bestReady := -1, ^uint64(0)
+		horizon := ^uint64(0)
+		for off := 1; off <= count; off++ {
+			i := (last + off) % count
+			ready, ok := machines[i].NextReady()
+			if !ok {
+				continue
+			}
+			if ready < bestReady {
+				horizon = bestReady
+				best, bestReady = i, ready
+			} else if ready < horizon {
+				horizon = ready
+			}
+		}
+		if best < 0 {
+			break
+		}
+		machines[best].ServeRunUntil(horizon)
+		last = best
+	}
+}
+
+// arbitrateBlocks is the retained block-granular reference: always serve
+// one block to the machine whose next block is ready earliest; ties
+// rotate so no NPU starves. The horizon-bounded loop above is pinned
+// cycle- and stats-identical to this one by the differential harness and
+// FuzzMultiVsBlock.
+//
+//tnpu:noalloc
+func arbitrateBlocks(machines []*npu.Machine) {
+	count := len(machines)
 	last := 0
 	for {
 		best, bestReady := -1, ^uint64(0)
@@ -120,14 +223,24 @@ func runMixed(progs []*compiler.Program, scheme memprot.Scheme, cfg npu.Config, 
 		machines[best].ServeBlock()
 		last = best
 	}
-	return assemble(scheme, eng, machines), nil
 }
 
 // assemble flushes the engine and summarizes a finished run.
 func assemble(scheme memprot.Scheme, eng memprot.Engine, machines []*npu.Machine) Result {
-	res := Result{Scheme: scheme, PerNPU: make([]uint64, len(machines))}
+	res := Result{
+		Scheme: scheme,
+		PerNPU: make([]uint64, len(machines)),
+		NPUs:   make([]NPUStats, len(machines)),
+	}
 	for i, m := range machines {
 		res.PerNPU[i] = m.Cycles()
+		res.NPUs[i] = NPUStats{
+			Cycles:     m.Cycles(),
+			Blocks:     m.BlocksMoved(),
+			ReadBytes:  m.BlocksRead() * dram.BlockBytes,
+			WriteBytes: m.BlocksWritten() * dram.BlockBytes,
+			Runs:       m.RunsServed(),
+		}
 		if m.Cycles() > res.Cycles {
 			res.Cycles = m.Cycles()
 		}

@@ -291,6 +291,9 @@ func (m *Machine) appendPost(dst []byte, ls memprot.LayerState, base uint64, fir
 func (m *Machine) appendAcc(dst []byte, ls memprot.LayerState) []byte {
 	dst = canon.AppendU64(dst, m.computeBusy)
 	dst = canon.AppendU64(dst, m.blocksMoved)
+	dst = canon.AppendU64(dst, m.blocksRead)
+	dst = canon.AppendU64(dst, m.blocksWritten)
+	dst = canon.AppendU64(dst, m.runsServed)
 	return ls.AppendAccum(dst)
 }
 
@@ -323,6 +326,12 @@ func (m *Machine) replayLayer(e *memoEntry, ls memprot.LayerState, base uint64, 
 	m.computeBusy += v
 	v, src = canon.U64(src)
 	m.blocksMoved += v
+	v, src = canon.U64(src)
+	m.blocksRead += v
+	v, src = canon.U64(src)
+	m.blocksWritten += v
+	v, src = canon.U64(src)
+	m.runsServed += v
 	src = ls.AddAccum(src)
 	if len(src) != 0 {
 		panic("npu: trailing bytes in memo accumulator blob")

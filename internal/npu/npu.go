@@ -108,8 +108,12 @@ type Machine struct {
 	window *dram.IssueWindow
 
 	// runEng is non-nil when the engine supports the batched fast path;
-	// batched selects it (the default when available).
+	// batched selects it (the default when available). bounder is non-nil
+	// when the engine additionally admits the closed-form run time bound
+	// that lets a multi-NPU arbiter burst whole runs below an interaction
+	// horizon (ServeRunUntil).
 	runEng  memprot.RunEngine
+	bounder memprot.RunBounder
 	batched bool
 
 	// iotlb, when non-nil, models the per-instruction IOMMU translation.
@@ -120,6 +124,14 @@ type Machine struct {
 	computeBusy uint64
 	lastDone    uint64
 	blocksMoved uint64
+
+	// Per-NPU attribution counters (multi-NPU QoS stats): blocks served by
+	// direction, and how many engine-level run bursts served them. Blocks
+	// counts are execution-path invariant; runsServed is observability only
+	// (it differs between the per-block reference and the batched path).
+	blocksRead    uint64
+	blocksWritten uint64
+	runsServed    uint64
 
 	dataOffset uint64
 	slotOffset uint64
@@ -155,6 +167,7 @@ func NewMachineAt(prog *compiler.Program, eng memprot.Engine, dataOffset, slotOf
 		window:     dram.NewIssueWindow(dmaOutstanding),
 	}
 	m.runEng, _ = eng.(memprot.RunEngine)
+	m.bounder, _ = eng.(memprot.RunBounder)
 	m.batched = m.runEng != nil && !forcePerBlock.Load()
 	return m
 }
@@ -281,8 +294,10 @@ func (m *Machine) ServeBlock() {
 	var busFree, dataAt uint64
 	if in.Op == isa.OpMvIn {
 		busFree, dataAt = m.eng.ReadBlock(m.issueAt, m.blockAddr+m.dataOffset, in.Version)
+		m.blocksRead++
 	} else {
 		busFree, dataAt = m.eng.WriteBlock(m.issueAt, m.blockAddr+m.dataOffset, in.Version)
+		m.blocksWritten++
 	}
 	m.blocksMoved++
 	next := m.noteIssue(busFree)
@@ -331,9 +346,12 @@ func (m *Machine) ServeRun() {
 		var next, dataAt uint64
 		if in.Op == isa.OpMvIn {
 			next, dataAt = m.runEng.ReadRun(m.issueAt, m.blockAddr+m.dataOffset, in.Version, n, m.window)
+			m.blocksRead += uint64(n)
 		} else {
 			next, dataAt = m.runEng.WriteRun(m.issueAt, m.blockAddr+m.dataOffset, in.Version, n, m.window)
+			m.blocksWritten += uint64(n)
 		}
+		m.runsServed++
 		m.blocksMoved += uint64(n)
 		m.issueAt = next
 		if dataAt > m.maxDataAt {
@@ -348,6 +366,108 @@ func (m *Machine) ServeRun() {
 	m.retire(m.active, m.maxDataAt)
 	m.dmaFree = m.issueAt
 	m.active = -1
+}
+
+// ServeRunUntil serves the active DMA instruction up to the interaction
+// horizon: the earliest cycle at which any other machine sharing the bus
+// could become issue-ready. It bursts whole runs through the batched path
+// whenever the engine's closed-form time bound proves every block of the
+// remaining instruction would issue strictly below the horizon, and steps
+// the per-block reference otherwise — so serving order is exactly what
+// block-granular arbitration would have produced. Callers must have
+// obtained a ready time from NextReady first; at least one block is always
+// served (the caller selected this machine, so it wins the tie even when
+// its ready time equals the horizon). On return either the instruction
+// retired or issueAt >= horizon and another machine may be ready.
+func (m *Machine) ServeRunUntil(horizon uint64) {
+	if m.batched && horizon == ^uint64(0) {
+		// No other machine has pending work: the whole instruction is
+		// uncontended, exactly the single-NPU case.
+		m.ServeRun()
+		return
+	}
+	// Within one serve window the burst budget (horizon minus the bound
+	// base) only shrinks as blocks are served, so a failed bound attempt
+	// mostly predicts the next one failing too — but the remaining run also
+	// shrinks, so a later attempt can succeed. Exponential backoff between
+	// attempts keeps the contended (lockstep) regime at O(1) amortized
+	// bound arithmetic per block while still finding late-fitting bursts.
+	tryBurst := m.batched && m.bounder != nil
+	skip, backoff := uint64(0), uint64(1)
+	for {
+		if tryBurst && m.issueAt < horizon {
+			if skip == 0 {
+				if m.tryRunBelow(horizon) {
+					return
+				}
+				backoff *= 2
+				skip = backoff
+			} else {
+				skip--
+			}
+		}
+		m.ServeBlock()
+		if m.active < 0 || m.issueAt >= horizon {
+			return
+		}
+	}
+}
+
+// tryRunBelow bursts the rest of the active instruction iff the engine's
+// run bound proves the final issue time stays strictly below the horizon.
+// The bound's increments are summed across all remaining segments with an
+// early exit once the budget is exhausted, so a failed attempt in a
+// contended window costs O(1) arithmetic in the common case. After a
+// successful burst the actually reached issue time is checked against the
+// bound: a violation means the bound model is unsound for this engine and
+// the simulation can no longer claim equivalence, so it panics.
+//
+//tnpu:noalloc
+func (m *Machine) tryRunBelow(horizon uint64) bool {
+	in := &m.prog.Trace.Instrs[m.active]
+	write := in.Op != isa.OpMvIn
+	base := max64(m.issueAt, m.window.MaxSlot())
+	if b := m.bounder.RunBoundBase(); b > base {
+		base = b
+	}
+	if base >= horizon {
+		return false
+	}
+	budget := horizon - base
+	var total uint64
+	addr, end := m.blockAddr, m.segEnd
+	for si := m.segIdx; ; {
+		n := int((end - addr + dram.BlockBytes - 1) / dram.BlockBytes)
+		incr, ok := m.bounder.RunBoundIncr(addr+m.dataOffset, n, write)
+		if !ok || incr >= budget-total {
+			return false
+		}
+		total += incr
+		if si++; si >= len(in.Segments) {
+			break
+		}
+		seg := in.Segments[si]
+		addr, end = seg.Addr&^(dram.BlockBytes-1), seg.Addr+seg.Bytes
+	}
+	// The arithmetic bound fits under the horizon; now consult the
+	// (possibly state-scanning) burst guard for each remaining run.
+	addr, end = m.blockAddr, m.segEnd
+	for si := m.segIdx; ; {
+		n := int((end - addr + dram.BlockBytes - 1) / dram.BlockBytes)
+		if !m.bounder.RunBurstSafe(addr+m.dataOffset, n, write) {
+			return false
+		}
+		if si++; si >= len(in.Segments) {
+			break
+		}
+		seg := in.Segments[si]
+		addr, end = seg.Addr&^(dram.BlockBytes-1), seg.Addr+seg.Bytes
+	}
+	m.ServeRun()
+	if m.issueAt > base+total {
+		panic("npu: run burst exceeded its closed-form horizon bound") //tnpu:allocok (invariant violation; never reached in steady state)
+	}
+	return true
 }
 
 // Run drives the machine to completion (single-NPU operation).
@@ -368,6 +488,16 @@ func (m *Machine) ComputeBusy() uint64 { return m.computeBusy }
 
 // BlocksMoved returns the number of 64B blocks the DMA transferred.
 func (m *Machine) BlocksMoved() uint64 { return m.blocksMoved }
+
+// BlocksRead returns the blocks served on the read (mvin) path.
+func (m *Machine) BlocksRead() uint64 { return m.blocksRead }
+
+// BlocksWritten returns the blocks served on the write (mvout) path.
+func (m *Machine) BlocksWritten() uint64 { return m.blocksWritten }
+
+// RunsServed returns how many engine-level run bursts served this
+// machine's blocks — zero on the per-block reference path.
+func (m *Machine) RunsServed() uint64 { return m.runsServed }
 
 // Utilization returns the PE array's busy fraction over the whole run —
 // the number protection overhead eats into (an unsecure-equal compute

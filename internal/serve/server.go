@@ -106,6 +106,7 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("GET /events", s.handleEvents)
 	mux.HandleFunc("GET /api/models", s.handleModels)
 	mux.HandleFunc("GET /api/cell", s.handleCell)
+	mux.HandleFunc("GET /api/mixed", s.handleMixed)
 	mux.HandleFunc("GET /api/figure/{id}", s.handleFigure)
 	mux.HandleFunc("GET /api/sweep/{kind}", s.handleSweep)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
@@ -247,8 +248,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, `tnpu-serve — TNPU simulation as a service (code version %s)
 
 GET /api/cell?model=df&class=small&scheme=tnpu&count=1   one simulation cell (JSON)
+GET /api/mixed?models=df,res&class=small&scheme=tnpu     mixed-tenancy run with per-NPU attribution (JSON)
 GET /api/figure/{fig4|fig5|fig14|fig15|fig16|fig17}      paper figure (JSON; &format=svg&class=small for a chart)
 GET /api/sweep/{bandwidth|spm|latency}?model=df          sensitivity sweep (JSON)
+GET /api/sweep/npucount?model=df                         1-3 NPU scalability curve (JSON; &format=svg&class=small)
 GET /api/models                                          served workloads
 GET /stats                                               cache/memo/queue counters
 GET /events                                              SSE stream of completed-cell progress
@@ -459,6 +462,13 @@ func (s *Server) handleFigure(w http.ResponseWriter, req *http.Request) {
 
 	// SVG is a cheap deterministic rendering of the cached figure data,
 	// so only the JSON is content-addressed.
+	s.writeFigureSVG(w, req, data, src, spec.refLine, spec.yLabel)
+}
+
+// writeFigureSVG renders the requested class's chart of a cached
+// figureDoc through plot.ClassCharts — shared by /api/figure and the
+// figure-shaped /api/sweep/npucount.
+func (s *Server) writeFigureSVG(w http.ResponseWriter, req *http.Request, data []byte, src Source, refLine float64, yLabel string) {
 	class, err := parseClass(req.URL.Query().Get("class"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -477,7 +487,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, req *http.Request) {
 			categories = series.Models
 		}
 	}
-	for _, cc := range plot.ClassCharts(doc.ID, doc.Title, categories, classSeries, spec.refLine, spec.yLabel) {
+	for _, cc := range plot.ClassCharts(doc.ID, doc.Title, categories, classSeries, refLine, yLabel) {
 		if cc.Class != class.String() {
 			continue
 		}
@@ -489,7 +499,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, req *http.Request) {
 		writeCached(w, "image/svg+xml", []byte(svg), src)
 		return
 	}
-	writeError(w, http.StatusNotFound, fmt.Errorf("figure %s has no %s-class series", id, class))
+	writeError(w, http.StatusNotFound, fmt.Errorf("figure %s has no %s-class series", doc.ID, class))
 }
 
 // sweepDoc is the JSON shape of /api/sweep.
@@ -515,8 +525,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, req *http.Request) {
 		gen = s.runner.SPMSweep
 	case "latency":
 		gen = s.runner.LatencySweep
+	case "npucount":
+		s.handleNPUCountSweep(w, req)
+		return
 	default:
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q (bandwidth|spm|latency)", kind))
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q (bandwidth|spm|latency|npucount)", kind))
 		return
 	}
 	short := req.URL.Query().Get("model")
@@ -551,6 +564,160 @@ func (s *Server) handleSweep(w http.ResponseWriter, req *http.Request) {
 	writeCached(w, "application/json", data, src)
 }
 
+// handleNPUCountSweep serves the scalability curve: normalized execution
+// time at 1–3 NPUs per scheme and class, now cheap enough to compute on
+// demand (the horizon-bounded arbitration plus the joint-run cache). The
+// artifact is figure-shaped — class-tagged series over NPU-count
+// categories — so it shares the figure endpoints' JSON/SVG rendering.
+// Both Table II configurations go into the cache key because the sweep
+// simulates both classes (unlike the one-axis sweeps, which scale off
+// Small alone). Count itself needs no key component: it is the category
+// axis inside the artifact, and the underlying cells already carry it
+// (exp.CellKey.Digest hashes Count; pinned by TestCellKeyDigest).
+func (s *Server) handleNPUCountSweep(w http.ResponseWriter, req *http.Request) {
+	short := req.URL.Query().Get("model")
+	if !s.hasModel(short) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown or unserved model %q (see /api/models)", short))
+		return
+	}
+	format := req.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if format != "json" && format != "svg" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (json|svg)", format))
+		return
+	}
+
+	key := exp.DigestParams(s.version, "sweep", map[string]string{
+		"kind":  "npucount",
+		"model": short,
+		"small": exp.ConfigDigest(exp.Small.Config()),
+		"large": exp.ConfigDigest(exp.Large.Config()),
+	})
+	data, src, err := s.cached(key, func() ([]byte, error) {
+		fig, err := s.runner.NPUCountSweep(short)
+		if err != nil {
+			return nil, err
+		}
+		doc := figureDoc{ID: fig.ID, Title: fig.Title}
+		for _, series := range fig.Series {
+			doc.Series = append(doc.Series, seriesDoc{
+				Class:  series.Class.String(),
+				Label:  series.Label,
+				Models: series.Models,
+				Values: series.Values,
+				Mean:   series.Mean(),
+			})
+		}
+		return json.Marshal(doc)
+	})
+	if err != nil {
+		s.failCached(w, err)
+		return
+	}
+	if format == "json" {
+		writeCached(w, "application/json", data, src)
+		return
+	}
+	s.writeFigureSVG(w, req, data, src, 1, "normalized execution time")
+}
+
+// MixedResult is the JSON payload of /api/mixed: one mixed-tenancy run
+// with per-NPU attribution — each tenant's completion time and served
+// traffic on the shared bus and metadata caches.
+type MixedResult struct {
+	Models []string `json:"models"`
+	Class  string   `json:"class"`
+	Scheme string   `json:"scheme"`
+
+	// Cycles is the completion time of the slowest tenant.
+	Cycles       uint64  `json:"cycles"`
+	Milliseconds float64 `json:"milliseconds"`
+
+	NPUs []MixedNPU `json:"npus"`
+
+	TrafficBytes  uint64 `json:"traffic_bytes"`
+	MetadataBytes uint64 `json:"metadata_bytes"`
+}
+
+// MixedNPU is one tenant's share of a mixed run.
+type MixedNPU struct {
+	Model      string `json:"model"`
+	Cycles     uint64 `json:"cycles"`
+	Blocks     uint64 `json:"blocks"`
+	ReadBytes  uint64 `json:"read_bytes"`
+	WriteBytes uint64 `json:"write_bytes"`
+}
+
+// handleMixed serves the mixed-tenancy cell: different workloads on each
+// NPU of one SoC, the co-tenant QoS view the ROADMAP contention matrix
+// needs. The models parameter is an ordered comma-separated list; order
+// is part of the identity (it fixes each tenant's context region).
+func (s *Server) handleMixed(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	shorts := strings.Split(q.Get("models"), ",")
+	if len(shorts) < 1 || len(shorts) > maxNPUCount || shorts[0] == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("models must list 1..%d workloads, got %q", maxNPUCount, q.Get("models")))
+		return
+	}
+	for _, short := range shorts {
+		if !s.hasModel(short) {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown or unserved model %q (see /api/models)", short))
+			return
+		}
+	}
+	class, err := parseClass(q.Get("class"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	scheme, err := parseScheme(q.Get("scheme"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	key := exp.DigestParams(s.version, "mixed", map[string]string{
+		"models": strings.Join(shorts, ","),
+		"config": exp.ConfigDigest(class.Config()),
+		"scheme": scheme.String(),
+	})
+	data, src, err := s.cached(key, func() ([]byte, error) {
+		res, err := s.runner.RunMixed(shorts, class, scheme)
+		if err != nil {
+			return nil, err
+		}
+		cfg := class.Config()
+		doc := MixedResult{
+			Models: shorts,
+			Class:  class.String(),
+			Scheme: scheme.String(),
+
+			Cycles:       res.Cycles,
+			Milliseconds: 1e3 * float64(res.Cycles) / float64(cfg.Mem.FreqHz),
+
+			TrafficBytes:  res.Traffic.Total(),
+			MetadataBytes: res.Traffic.Metadata(),
+		}
+		for i, n := range res.NPUs {
+			doc.NPUs = append(doc.NPUs, MixedNPU{
+				Model:      shorts[i],
+				Cycles:     n.Cycles,
+				Blocks:     n.Blocks,
+				ReadBytes:  n.ReadBytes,
+				WriteBytes: n.WriteBytes,
+			})
+		}
+		return json.Marshal(doc)
+	})
+	if err != nil {
+		s.failCached(w, err)
+		return
+	}
+	writeCached(w, "application/json", data, src)
+}
+
 // StatsDoc is the /stats payload: every counter the service keeps —
 // disk-cache outcomes, the harness's in-memory cell cache, the shared
 // layer memo, queue pressure, SSE delivery, and process vitals.
@@ -573,6 +740,13 @@ type StatsDoc struct {
 		Hits   uint64 `json:"hits"`
 		Misses uint64 `json:"misses"`
 	} `json:"memo"`
+
+	// MultiCache is the shared multi-NPU joint-run cache
+	// (exp.Runner.MultiCacheStats).
+	MultiCache struct {
+		Hits   uint64 `json:"hits"`
+		Misses uint64 `json:"misses"`
+	} `json:"multi_cache"`
 
 	// Harness is the runner's in-memory cell singleflight cache.
 	Harness struct {
@@ -609,6 +783,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	doc.Queue.Rejected = s.rejected.Load()
 
 	doc.Memo.Hits, doc.Memo.Misses = s.runner.MemoStats()
+	doc.MultiCache.Hits, doc.MultiCache.Misses = s.runner.MultiCacheStats()
 
 	log := s.runner.Log()
 	doc.Harness.CellsComputed = log.CellsDone()

@@ -197,6 +197,98 @@ func TestSweepEndpoint(t *testing.T) {
 	}
 }
 
+func TestNPUCountSweepEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var doc figureDoc
+	resp := getJSON(t, ts.URL+"/api/sweep/npucount?model=df", &doc)
+	if got := resp.Header.Get("X-Tnpu-Cache"); got != string(SourceCompute) {
+		t.Errorf("first fetch cache source = %q, want compute", got)
+	}
+	// 2 classes x {baseline, tnpu, encrypt-only}, each over counts 1-3.
+	if doc.ID != "npucount" || len(doc.Series) != 6 {
+		t.Fatalf("npucount doc: id=%q series=%d", doc.ID, len(doc.Series))
+	}
+	for _, s := range doc.Series {
+		if len(s.Models) != 3 || s.Models[0] != "1 NPU" || s.Models[2] != "3 NPU" {
+			t.Errorf("series %s/%s categories: %v", s.Class, s.Label, s.Models)
+		}
+		for i, v := range s.Values {
+			if v < 1 {
+				t.Errorf("%s/%s at %s: normalized %.3f < 1", s.Class, s.Label, s.Models[i], v)
+			}
+		}
+	}
+
+	resp, body := get(t, ts.URL+"/api/sweep/npucount?model=df&format=svg&class=small")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("svg status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "image/svg+xml" {
+		t.Errorf("svg content-type %q", ct)
+	}
+	if got := resp.Header.Get("X-Tnpu-Cache"); got != string(SourceDisk) {
+		t.Errorf("svg render cache source = %q, want disk (same JSON artifact)", got)
+	}
+	if svg := string(body); !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "small NPU") {
+		t.Errorf("svg content: %.80s", svg)
+	}
+
+	resp, _ = get(t, ts.URL+"/api/sweep/npucount?model=zzz")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown model status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestMixedEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, "df", "res")
+
+	var doc MixedResult
+	getJSON(t, ts.URL+"/api/mixed?models=df,res&class=small&scheme=tnpu", &doc)
+	if len(doc.Models) != 2 || doc.Models[0] != "df" || doc.Models[1] != "res" {
+		t.Fatalf("mixed identity: %+v", doc.Models)
+	}
+	if len(doc.NPUs) != 2 {
+		t.Fatalf("per-NPU attribution has %d entries, want 2", len(doc.NPUs))
+	}
+	var worst uint64
+	for i, n := range doc.NPUs {
+		if n.Model != doc.Models[i] {
+			t.Errorf("npu %d attributed to %q, want %q", i, n.Model, doc.Models[i])
+		}
+		if n.Cycles == 0 || n.Blocks == 0 || n.ReadBytes == 0 {
+			t.Errorf("npu %d has empty attribution: %+v", i, n)
+		}
+		if n.Cycles > worst {
+			worst = n.Cycles
+		}
+	}
+	if doc.Cycles != worst {
+		t.Errorf("run cycles %d != slowest tenant %d", doc.Cycles, worst)
+	}
+	if doc.TrafficBytes == 0 || doc.MetadataBytes == 0 {
+		t.Errorf("traffic empty: %+v", doc)
+	}
+
+	// The tuple is ordered: reversing it is a different artifact key (the
+	// tenants swap context regions), not a cache hit.
+	resp, _ := get(t, ts.URL+"/api/mixed?models=res,df&class=small&scheme=tnpu")
+	if got := resp.Header.Get("X-Tnpu-Cache"); got != string(SourceCompute) {
+		t.Errorf("reversed tuple cache source = %q, want compute", got)
+	}
+
+	for _, bad := range []string{
+		"/api/mixed?models=&class=small",
+		"/api/mixed?models=df,zzz&class=small",
+		"/api/mixed?models=df,df,df,df,df&class=small",
+	} {
+		resp, _ := get(t, ts.URL+bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
 func TestStatsEndpoint(t *testing.T) {
 	_, ts := newTestServer(t)
 	get(t, ts.URL+"/api/cell?model=df&class=small&scheme=baseline")
@@ -217,6 +309,9 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if doc.Memo.Hits+doc.Memo.Misses == 0 {
 		t.Error("layer memo counters absent")
+	}
+	if doc.MultiCache.Hits+doc.MultiCache.Misses == 0 {
+		t.Error("joint-run cache counters absent")
 	}
 	if doc.Queue.Capacity != 1024 || doc.Queue.Depth != 0 {
 		t.Errorf("queue stats: %+v", doc.Queue)
