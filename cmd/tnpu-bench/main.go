@@ -54,6 +54,7 @@ func mainRun() int {
 	mdFlag := flag.String("md", "", "also write a Markdown report to this file")
 	parallelFlag := flag.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = sequential)")
 	verboseFlag := flag.Bool("v", false, "log per-cell progress to stderr and print a run summary at exit")
+	memoDirFlag := flag.String("memodir", "", "persistent memo-store directory: layer and whole-run memos recorded there survive the process and make later runs start warm (default: off)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation (heap) profile at exit to this file")
 	perBlockFlag := flag.Bool("perblock", false, "force the per-block DMA reference path instead of the batched fast path")
@@ -109,6 +110,10 @@ func mainRun() int {
 	if *verboseFlag {
 		r.Progress = os.Stderr
 	}
+	if err := r.SetMemoDir(*memoDirFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "tnpu-bench:", err)
+		return 2
+	}
 
 	var code int
 	if *attackFlag {
@@ -122,8 +127,23 @@ func mainRun() int {
 		jhits, jmisses := r.MultiCacheStats()
 		fmt.Fprintf(os.Stderr, "layer memo: %d hits, %d misses; joint-run cache: %d hits, %d misses; cell cache: %d hits\n",
 			hits, misses, jhits, jmisses, r.Log().CacheHits())
+		if r.MemoDir() != "" {
+			lm := r.LayerMemoStats()
+			st := r.CellStoreStats()
+			fmt.Fprintf(os.Stderr, "memo store %s: %d layer disk hits, %d records, %d evictions; store %d/%d loads hit, %d saves, %d corrupt\n",
+				r.MemoDir(), lm.DiskHits, lm.Records, lm.Evictions, st.Hits, st.Loads, st.Saves, st.Corrupt)
+		}
 	}
 	return code
+}
+
+// schemeNames renders the valid -schemes values.
+func schemeNames() string {
+	names := make([]string, 0, len(memprot.AllSchemes()))
+	for _, s := range memprot.AllSchemes() {
+		names = append(names, s.String())
+	}
+	return strings.Join(names, ",")
 }
 
 // runAttack mounts the fault-injection campaign over every runner model
@@ -176,11 +196,21 @@ func run(r *exp.Runner, only string, asJSON bool, mdPath string, verbose bool) i
 		key string
 		run func() error
 	}
+	// The -schemes filter can drain every figure (e.g. -schemes unsecure:
+	// the measured series are all filtered away, and unsecure itself is
+	// only ever the normalization denominator). Emitting nothing with
+	// exit 0 reads as success; count empty figures so that outcome can
+	// fail loudly below instead.
+	figuresRun, figuresEmpty := 0, 0
 	figure := func(gen func() (exp.Figure, error)) func() error {
 		return func() error {
 			f, err := gen()
 			if err != nil {
 				return err
+			}
+			figuresRun++
+			if len(f.Series) == 0 {
+				figuresEmpty++
 			}
 			fmt.Println(f.String())
 			return nil
@@ -196,6 +226,10 @@ func run(r *exp.Runner, only string, asJSON bool, mdPath string, verbose bool) i
 			f, err := r.Figure16()
 			if err != nil {
 				return err
+			}
+			figuresRun++
+			if len(f.Series) == 0 {
+				figuresEmpty++
 			}
 			fmt.Println(f.String())
 			if verbose {
@@ -255,6 +289,11 @@ func run(r *exp.Runner, only string, asJSON bool, mdPath string, verbose bool) i
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "tnpu-bench: unknown artifact %q\n", only)
+		return 2
+	}
+	if figuresRun > 0 && figuresEmpty == figuresRun {
+		fmt.Fprintf(os.Stderr, "tnpu-bench: -schemes filter left every figure empty (valid schemes: %s; measured figures need at least one of baseline, tnpu, encrypt-only)\n",
+			schemeNames())
 		return 2
 	}
 

@@ -51,6 +51,7 @@ func run() int {
 	modelsFlag := flag.String("models", "", "comma-separated workload subset (default: all 14)")
 	parallelFlag := flag.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS)")
 	queueFlag := flag.Int("queue", 0, "max admitted jobs before load shedding with 503 (0 = 1024)")
+	memoDirFlag := flag.String("memodir", "", `persistent memo-store directory for layer and whole-run memos (default: "memo" beside the result cache; "off" disables)`)
 	flag.Parse()
 
 	cacheDir := *cacheFlag
@@ -72,6 +73,7 @@ func run() int {
 		CacheDir: cacheDir,
 		Workers:  *parallelFlag,
 		Queue:    *queueFlag,
+		MemoDir:  *memoDirFlag,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tnpu-serve:", err)
@@ -86,6 +88,9 @@ func run() int {
 	// The boot line is machine-parsed (scripts/serve_smoke.sh,
 	// scripts/bench.sh) — keep its shape stable.
 	fmt.Printf("tnpu-serve: listening on http://%s (cache %s)\n", ln.Addr(), cacheDir)
+	if dir := srv.Runner().MemoDir(); dir != "" {
+		fmt.Printf("tnpu-serve: memo store %s\n", dir)
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)

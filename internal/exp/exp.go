@@ -10,6 +10,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tnpu/internal/attack"
@@ -19,6 +20,7 @@ import (
 	"tnpu/internal/model"
 	"tnpu/internal/multinpu"
 	"tnpu/internal/npu"
+	"tnpu/internal/npu/memostore"
 )
 
 // Class selects one of the two Table II NPU configurations.
@@ -106,8 +108,15 @@ type Runner struct {
 	// warm in-memory layer under its disk cache.
 	multiCache *multinpu.RunCache
 
+	// cellStore, when attached via SetMemoDir, persists whole-run cell
+	// results (and, through the layer memo, recorded layer entries)
+	// across processes. Set once before first use, like Models; a nil
+	// store is a valid no-op (see memostore).
+	cellStore *memostore.Store
+
 	freezeOnce sync.Once
 	frozen     frozenConfig
+	used       atomic.Bool
 
 	log RunLog
 }
@@ -126,6 +135,7 @@ type frozenConfig struct {
 // documented "must be set before the first figure/sweep call" contract,
 // enforced instead of trusted.
 func (r *Runner) freeze() {
+	r.used.Store(true)
 	r.freezeOnce.Do(func() {
 		r.frozen = frozenConfig{
 			models:   append([]string(nil), r.Models...),
@@ -256,6 +266,13 @@ func ParseSchemes(csv string) ([]memprot.Scheme, error) {
 			return nil, fmt.Errorf("exp: unknown scheme %q (valid: %s)", name, strings.Join(valid, ","))
 		}
 	}
+	if len(out) == 0 && strings.TrimSpace(csv) != "" {
+		valid := make([]string, 0, len(memprot.AllSchemes()))
+		for _, s := range memprot.AllSchemes() {
+			valid = append(valid, s.String())
+		}
+		return nil, fmt.Errorf("exp: scheme filter %q selects no schemes (valid: %s)", csv, strings.Join(valid, ","))
+	}
 	return out, nil
 }
 
@@ -324,15 +341,17 @@ func (r *Runner) Run(short string, class Class, scheme memprot.Scheme, count int
 	k := runKey{short, class, scheme, count}
 	label := fmt.Sprintf("%s/%s/%s x%d", short, class, scheme, count)
 	return compute(r, r.runs, k, "simulate", label, func() (multinpu.Result, error) {
-		p, err := r.Program(short, class)
-		if err != nil {
-			return multinpu.Result{}, err
-		}
-		res, err := multinpu.RunCached(p, scheme, class.Config(), count, r.memo, r.multiCache)
-		if err != nil {
-			return multinpu.Result{}, fmt.Errorf("exp: %s/%s/%s x%d: %w", short, class, scheme, count, err)
-		}
-		return res, nil
+		return persisted(r, runCellKey(short, class.Config(), scheme, count), appendRunResult, decodeRunResult, func() (multinpu.Result, error) {
+			p, err := r.Program(short, class)
+			if err != nil {
+				return multinpu.Result{}, err
+			}
+			res, err := multinpu.RunCached(p, scheme, class.Config(), count, r.memo, r.multiCache)
+			if err != nil {
+				return multinpu.Result{}, fmt.Errorf("exp: %s/%s/%s x%d: %w", short, class, scheme, count, err)
+			}
+			return res, nil
+		})
 	})
 }
 
@@ -348,19 +367,21 @@ func (r *Runner) RunMixed(shorts []string, class Class, scheme memprot.Scheme) (
 		if len(shorts) == 0 {
 			return multinpu.Result{}, fmt.Errorf("exp: mixed-tenancy run needs at least one model")
 		}
-		progs := make([]*compiler.Program, len(shorts))
-		for i, short := range shorts {
-			p, err := r.Program(short, class)
-			if err != nil {
-				return multinpu.Result{}, err
+		return persisted(r, mixedCellKey(shorts, class.Config(), scheme), appendRunResult, decodeRunResult, func() (multinpu.Result, error) {
+			progs := make([]*compiler.Program, len(shorts))
+			for i, short := range shorts {
+				p, err := r.Program(short, class)
+				if err != nil {
+					return multinpu.Result{}, err
+				}
+				progs[i] = p
 			}
-			progs[i] = p
-		}
-		res, err := multinpu.RunMixedCached(progs, scheme, class.Config(), r.memo, r.multiCache)
-		if err != nil {
-			return multinpu.Result{}, fmt.Errorf("exp: mixed[%s]/%s/%s: %w", joined, class, scheme, err)
-		}
-		return res, nil
+			res, err := multinpu.RunMixedCached(progs, scheme, class.Config(), r.memo, r.multiCache)
+			if err != nil {
+				return multinpu.Result{}, fmt.Errorf("exp: mixed[%s]/%s/%s: %w", joined, class, scheme, err)
+			}
+			return res, nil
+		})
 	})
 }
 
@@ -374,11 +395,13 @@ func (r *Runner) EndToEnd(short string, class Class, scheme memprot.Scheme) (e2e
 	k := e2eKey{short, class, scheme}
 	label := fmt.Sprintf("%s/%s/%s e2e", short, class, scheme)
 	return compute(r, r.e2es, k, "e2e", label, func() (e2e.Result, error) {
-		p, err := r.Program(short, class)
-		if err != nil {
-			return e2e.Result{}, err
-		}
-		return e2e.Run(p, scheme, class.Config())
+		return persisted(r, e2eCellKey(short, class.Config(), scheme), appendE2EResult, decodeE2EResult, func() (e2e.Result, error) {
+			p, err := r.Program(short, class)
+			if err != nil {
+				return e2e.Result{}, err
+			}
+			return e2e.Run(p, scheme, class.Config())
+		})
 	})
 }
 

@@ -1,0 +1,234 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"tnpu/internal/memprot"
+	"tnpu/internal/npu"
+	"tnpu/internal/npu/memostore"
+)
+
+// buildArtifacts drives one runner through every persisted cell kind —
+// multi-NPU runs (Figure16), end-to-end (Figure17), a mixed tuple, and a
+// sweep — and returns the rendered artifacts for equality comparison.
+func buildArtifacts(t *testing.T, r *Runner) []string {
+	t.Helper()
+	f16, err := r.Figure16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f17, err := r.Figure17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := r.RunMixed([]string{"df", "df"}, Small, memprot.TreeLess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := r.LatencySweep("df")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []string{f16.String(), f17.String(), mixed.Traffic.String(), sw.String()}
+}
+
+// TestMemoDirRoundTrip pins the whole-run memo guarantee: a fresh runner
+// (a "new process") over a directory an earlier runner recorded into
+// reproduces every artifact byte-identically without simulating anything —
+// every cell loads from the store, no layer is recorded.
+func TestMemoDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	cold := NewRunner("df")
+	if err := cold.SetMemoDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := buildArtifacts(t, cold)
+	if s := cold.CellStoreStats(); s.Saves == 0 {
+		t.Fatalf("cold runner persisted nothing: %+v", s)
+	}
+
+	warm := NewRunner("df")
+	if err := warm.SetMemoDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got := buildArtifacts(t, warm)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("memo-warm artifacts diverge from cold run:\n want %q\n got  %q", want, got)
+	}
+	s := warm.CellStoreStats()
+	if s.Hits == 0 {
+		t.Errorf("warm runner hit nothing on the store: %+v", s)
+	}
+	if lm := warm.LayerMemoStats(); lm.Records != 0 || lm.Misses != 0 {
+		t.Errorf("warm runner simulated layers (records=%d misses=%d); every cell should load whole", lm.Records, lm.Misses)
+	}
+}
+
+// TestMemoDirStaleBodyRecomputed pins the stale-shape path: a
+// checksum-valid entry whose body no longer decodes (an old framing) is
+// deleted and recomputed, never served.
+func TestMemoDirStaleBodyRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Small.Config()
+	key := sweepCellKey("df", cfg, memprot.TreeLess)
+
+	st, err := memostore.New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Save(key, []byte("not a cycle count")) {
+		t.Fatal("seeding stale entry failed")
+	}
+
+	r := NewRunner("df")
+	if err := r.SetMemoDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.runPoint("df", cfg, memprot.TreeLess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewRunner("df").runPoint("df", cfg, memprot.TreeLess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ref {
+		t.Errorf("stale entry leaked into the result: got %d, fresh run says %d", got, ref)
+	}
+	body, ok := st.Load(key)
+	if !ok {
+		t.Fatal("recomputed entry not re-persisted")
+	}
+	if v, ok := decodeCycles(body); !ok || v != ref {
+		t.Errorf("re-persisted entry decodes to %d (ok=%v), want %d", v, ok, ref)
+	}
+}
+
+// TestSetMemoDirAfterUsePanics enforces the attach-before-first-use
+// contract, like the Models/Schemes/Workers freeze.
+func TestSetMemoDirAfterUsePanics(t *testing.T) {
+	r := NewRunner("df")
+	if _, err := r.Program("df", Small); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetMemoDir after first use did not panic")
+		}
+	}()
+	if err := r.SetMemoDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCellKeysDistinct spot-checks the whole-run key derivations: kind,
+// workload, configuration, scheme, count, and tuple order all move the
+// key, and every key is store-valid.
+func TestCellKeysDistinct(t *testing.T) {
+	cfg := Small.Config()
+	large := Large.Config()
+	base := runCellKey("df", cfg, memprot.TreeLess, 1)
+	if !memostore.ValidKey(base) {
+		t.Fatalf("runCellKey %q is not store-valid", base)
+	}
+	distinct := map[string]string{
+		"model":  runCellKey("res", cfg, memprot.TreeLess, 1),
+		"config": runCellKey("df", large, memprot.TreeLess, 1),
+		"scheme": runCellKey("df", cfg, memprot.Baseline, 1),
+		"count":  runCellKey("df", cfg, memprot.TreeLess, 2),
+		"kind":   sweepCellKey("df", cfg, memprot.TreeLess),
+	}
+	for what, k := range distinct { //tnpu:orderfree — each variant checked independently
+		if k == base {
+			t.Errorf("changing %s did not change the cell key", what)
+		}
+	}
+	if mixedCellKey([]string{"df", "res"}, cfg, memprot.TreeLess) == mixedCellKey([]string{"res", "df"}, cfg, memprot.TreeLess) {
+		t.Error("mixed tuple order does not move the key (order fixes context regions)")
+	}
+	if e2eCellKey("df", cfg, memprot.TreeLess) == runCellKey("df", cfg, memprot.TreeLess, 1) {
+		t.Error("e2e and run cells share a key")
+	}
+}
+
+// TestPersistedRunResultRoundTrip pins the multinpu.Result canon framing
+// field-for-field through encode/decode.
+func TestPersistedRunResultRoundTrip(t *testing.T) {
+	r := NewRunner("df")
+	res, err := r.Run("df", Small, memprot.Baseline, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, ok := decodeRunResult(appendRunResult(nil, &res))
+	if !ok {
+		t.Fatal("round-trip decode refused its own encoding")
+	}
+	if !reflect.DeepEqual(res, dec) {
+		t.Errorf("run result round-trip mismatch:\n want %+v\n got  %+v", res, dec)
+	}
+	// Truncations at every prefix length must refuse, not panic.
+	body := appendRunResult(nil, &res)
+	for n := 0; n < len(body); n++ {
+		if _, ok := decodeRunResult(body[:n]); ok {
+			t.Fatalf("truncated body of %d/%d bytes decoded", n, len(body))
+		}
+	}
+	e2eRes, err := r.EndToEnd("df", Small, memprot.TreeLess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2eDec, ok := decodeE2EResult(appendE2EResult(nil, &e2eRes))
+	if !ok {
+		t.Fatal("e2e round-trip decode refused its own encoding")
+	}
+	if !reflect.DeepEqual(e2eRes, e2eDec) {
+		t.Errorf("e2e result round-trip mismatch:\n want %+v\n got  %+v", e2eRes, e2eDec)
+	}
+}
+
+// TestMemoDirWarmStartUsesLayerStore covers the layer-memo persistence
+// path through the runner (whole-run memos normally short-circuit it):
+// a warm runner whose *cell* entries were stranded by a cell-format bump
+// still replays layers from the store instead of re-recording them.
+func TestMemoDirWarmStartUsesLayerStore(t *testing.T) {
+	dir := t.TempDir()
+	cold := NewRunner("df")
+	if err := cold.SetMemoDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Small.Config()
+	want, err := cold.runPoint("df", cfg, memprot.TreeLess)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Strand the whole-run cell so the warm runner must simulate — its
+	// layer lookups should then come off the persistent store.
+	st, err := memostore.New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Delete(sweepCellKey("df", cfg, memprot.TreeLess))
+
+	warm := NewRunner("df")
+	if err := warm.SetMemoDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := warm.runPoint("df", cfg, memprot.TreeLess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("layer-store replay run = %d cycles, cold run = %d", got, want)
+	}
+	lm := warm.LayerMemoStats()
+	if lm.DiskHits == 0 {
+		t.Errorf("warm simulation loaded no layers from the store: %+v", lm)
+	}
+	if lm.Records != 0 {
+		t.Errorf("warm simulation re-recorded %d layers, want 0", lm.Records)
+	}
+	var _ npu.MemoStats = lm
+}

@@ -2,7 +2,9 @@ package npu
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"sync"
@@ -11,16 +13,18 @@ import (
 	"tnpu/internal/compiler"
 	"tnpu/internal/isa"
 	"tnpu/internal/memprot"
+	"tnpu/internal/npu/memostore"
 )
 
-// This file implements layer-signature memoization (DESIGN.md §6e): the
-// experiment harness re-executes the same model layers hundreds of times —
-// across sweep points, batch sizes, and NPU counts — and almost all of
-// those executions start from a machine+engine state the simulator has
-// seen before. A LayerMemo caches, per (program, layer, state-signature),
-// the layer's complete effect: the behavioural end state (canon bytes) and
-// the accumulator deltas (cycles, traffic, cache statistics), so a
-// recurring layer replays in O(state) instead of O(blocks).
+// This file implements layer-signature memoization (DESIGN.md §6e/§6g):
+// the experiment harness re-executes the same model layers hundreds of
+// times — across sweep points, batch sizes, and NPU counts — and almost
+// all of those executions start from a machine+engine state the simulator
+// has seen before. A LayerMemo caches, per (program, layer,
+// state-signature), the layer's complete effect: the behavioural end
+// state (canon bytes) and the accumulator deltas (cycles, traffic, cache
+// statistics), so a recurring layer replays in O(state) instead of
+// O(blocks).
 //
 // Correctness rests on two properties. First, keys compare the *exact*
 // pre-state bytes (the 64-bit hash only buckets them), so a replay happens
@@ -29,21 +33,50 @@ import (
 // is a max/compare; canon encodes times relative to the layer-entry DMA
 // clock). Second, accumulators ride as wrapping deltas, never absolute
 // values, so replaying into a run with different history stays exact.
+//
+// With a memostore attached (DESIGN.md §6g) the memo also survives the
+// process: entries are persisted content-addressed under
+// sha256(salt | program signature | layer | pre-state bytes), loaded back
+// on an in-memory miss, and verified byte-exact against the probing
+// pre-state before replay. The salt carries the simulator code version,
+// so a code bump strands stale entries instead of replaying them. Disk
+// I/O happens only on a miss (one read) or a fresh recording (one write,
+// after any waiting replayers have been released); the replay hot path
+// never touches the store.
 
 // LayerMemo is a concurrency-safe cache of layer execution deltas, shared
 // by every machine a Runner builds. The zero value is not usable; call
 // NewLayerMemo.
 type LayerMemo struct {
-	mu      sync.RWMutex
+	mu      sync.Mutex
 	entries map[memoKey][]*memoEntry
 	liveIn  map[*compiler.Program][][]int32
+	sigs    map[*compiler.Program]string
+	flights map[memoKey]*memoFlight
 	bytes   int
-	hits    uint64
-	misses  uint64
+	budget  int
+
+	// LRU list over every stored entry; head is most recently used.
+	lruHead *memoEntry
+	lruTail *memoEntry
+
+	// store persists entries across processes; salt (the simulator code
+	// version) is part of every disk key. Both are set once via
+	// AttachStore before the memo's first run.
+	store *memostore.Store
+	salt  string
+
+	hits       uint64
+	misses     uint64
+	flightHits uint64
+	diskHits   uint64
+	records    uint64
+	evictions  uint64
 }
 
-// memoBudgetBytes bounds retained blob memory; once past it, new layers
-// run live without storing (lookups still hit existing entries).
+// memoBudgetBytes bounds retained blob memory; past it, the least
+// recently used entries are evicted (reloadable from the store if one is
+// attached, re-recorded otherwise).
 const memoBudgetBytes = 512 << 20
 
 // memoKey buckets entries by program identity (programs are compiled once
@@ -59,6 +92,21 @@ type memoEntry struct {
 	pre  []byte // canonical machine+engine state at layer entry
 	post []byte // canonical state at layer exit, plus engine delta
 	acc  []byte // wrapping accumulator deltas across the layer
+
+	// LRU bookkeeping, all guarded by LayerMemo.mu.
+	key        memoKey
+	prev, next *memoEntry
+}
+
+func (e *memoEntry) size() int { return len(e.pre) + len(e.post) + len(e.acc) }
+
+// memoFlight is one in-progress recording of a (key, pre-state) pair;
+// concurrent machines that miss on the same signature wait on done and
+// replay the recorded entry instead of recording it redundantly.
+type memoFlight struct {
+	done chan struct{}
+	pre  []byte
+	e    *memoEntry // set before done closes; nil if the recorder bailed
 }
 
 // NewLayerMemo returns an empty memo cache.
@@ -66,70 +114,385 @@ func NewLayerMemo() *LayerMemo {
 	return &LayerMemo{
 		entries: make(map[memoKey][]*memoEntry),
 		liveIn:  make(map[*compiler.Program][][]int32),
+		sigs:    make(map[*compiler.Program]string),
+		flights: make(map[memoKey]*memoFlight),
+		budget:  memoBudgetBytes,
 	}
 }
 
-// Hits and Misses report lookup outcomes (for tests and logging).
+// AttachStore wires a persistent backing store under the memo. The salt
+// (the simulator code version) becomes part of every disk key, so entries
+// written by a different code version are stranded, never replayed. Must
+// be called before the memo's first RunMemoized, like the rest of the
+// harness configuration.
+func (lm *LayerMemo) AttachStore(st *memostore.Store, salt string) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	lm.store = st
+	lm.salt = salt
+}
+
+// SetBudgetBytes overrides the in-memory byte budget (tests exercise
+// eviction without synthesizing half a gigabyte of entries).
+func (lm *LayerMemo) SetBudgetBytes(n int) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	if n > 0 {
+		lm.budget = n
+	}
+}
+
+// MemoStats is a snapshot of the memo's lookup and storage counters.
+type MemoStats struct {
+	// Hits replayed from an in-memory entry.
+	Hits uint64
+	// Misses ran a layer live (and recorded it).
+	Misses uint64
+	// FlightHits waited for a concurrent recorder and replayed its entry.
+	FlightHits uint64
+	// DiskHits replayed from an entry loaded off the persistent store.
+	DiskHits uint64
+	// Records is the number of distinct entries recorded this process.
+	Records uint64
+	// Evictions is the number of entries dropped to stay under budget.
+	Evictions uint64
+	// Bytes is the current in-memory blob volume.
+	Bytes int
+	// Store is the persistent store's own counters (zero if detached).
+	Store memostore.Stats
+}
+
+// Stats snapshots the memo counters.
+func (lm *LayerMemo) Stats() MemoStats {
+	lm.mu.Lock()
+	st := MemoStats{
+		Hits:       lm.hits,
+		Misses:     lm.misses,
+		FlightHits: lm.flightHits,
+		DiskHits:   lm.diskHits,
+		Records:    lm.records,
+		Evictions:  lm.evictions,
+		Bytes:      lm.bytes,
+	}
+	store := lm.store
+	lm.mu.Unlock()
+	st.Store = store.Stats()
+	return st
+}
+
+// Hits reports in-memory replay hits (for tests and logging).
 func (lm *LayerMemo) Hits() uint64 {
-	lm.mu.RLock()
-	defer lm.mu.RUnlock()
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
 	return lm.hits
 }
 
 // Misses reports the number of layer executions that ran live.
 func (lm *LayerMemo) Misses() uint64 {
-	lm.mu.RLock()
-	defer lm.mu.RUnlock()
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
 	return lm.misses
+}
+
+// --- LRU list (all under mu) -------------------------------------------
+
+func (lm *LayerMemo) lruPushFront(e *memoEntry) {
+	e.prev, e.next = nil, lm.lruHead
+	if lm.lruHead != nil {
+		lm.lruHead.prev = e
+	}
+	lm.lruHead = e
+	if lm.lruTail == nil {
+		lm.lruTail = e
+	}
+}
+
+func (lm *LayerMemo) lruRemove(e *memoEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		lm.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		lm.lruTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (lm *LayerMemo) lruTouch(e *memoEntry) {
+	if lm.lruHead == e {
+		return
+	}
+	lm.lruRemove(e)
+	lm.lruPushFront(e)
+}
+
+// evictLocked drops one entry from the memory cache (its disk copy, if
+// any, stays; a later miss reloads it instead of re-recording).
+func (lm *LayerMemo) evictLocked(e *memoEntry) {
+	lm.lruRemove(e)
+	bucket := lm.entries[e.key]
+	for i, old := range bucket {
+		if old == e {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(lm.entries, e.key)
+	} else {
+		lm.entries[e.key] = bucket
+	}
+	lm.bytes -= e.size()
+	lm.evictions++
+}
+
+// insertLocked adds e under key (deduplicating against a concurrent
+// recorder of the same pre-state) and evicts from the LRU tail until the
+// budget holds again. A single entry larger than the whole budget is kept
+// alone — the budget is a steady-state bound, not a hard admission test.
+// Returns the canonical entry and whether e itself was inserted.
+func (lm *LayerMemo) insertLocked(key memoKey, e *memoEntry) (*memoEntry, bool) {
+	for _, old := range lm.entries[key] {
+		if bytes.Equal(old.pre, e.pre) {
+			lm.lruTouch(old)
+			return old, false
+		}
+	}
+	e.key = key
+	lm.entries[key] = append(lm.entries[key], e)
+	lm.bytes += e.size()
+	lm.lruPushFront(e)
+	for lm.bytes > lm.budget && lm.lruTail != nil && lm.lruTail != e {
+		lm.evictLocked(lm.lruTail)
+	}
+	return e, true
 }
 
 // lookup returns the entry whose pre-state bytes equal pre, or nil.
 func (lm *LayerMemo) lookup(key memoKey, pre []byte) *memoEntry {
-	lm.mu.RLock()
-	bucket := lm.entries[key]
-	var found *memoEntry
-	for _, e := range bucket {
-		if bytes.Equal(e.pre, pre) {
-			found = e
-			break
-		}
-	}
-	lm.mu.RUnlock()
-	lm.mu.Lock()
-	if found != nil {
-		lm.hits++
-	} else {
-		lm.misses++
-	}
-	lm.mu.Unlock()
-	return found
-}
-
-// store adds an entry unless the byte budget is exhausted or a concurrent
-// recorder beat us to the same pre-state.
-func (lm *LayerMemo) store(key memoKey, e *memoEntry) {
-	sz := len(e.pre) + len(e.post) + len(e.acc)
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
-	if lm.bytes+sz > memoBudgetBytes {
-		return
-	}
-	for _, old := range lm.entries[key] {
-		if bytes.Equal(old.pre, e.pre) {
-			return
+	for _, e := range lm.entries[key] {
+		if bytes.Equal(e.pre, pre) {
+			lm.hits++
+			lm.lruTouch(e)
+			return e
 		}
 	}
-	lm.entries[key] = append(lm.entries[key], e)
-	lm.bytes += sz
+	return nil
+}
+
+// record inserts a freshly recorded entry, counting the live execution.
+// Returns the canonical entry and whether it is new (a concurrent
+// recorder of the same pre-state may have won the insert).
+func (lm *LayerMemo) record(key memoKey, e *memoEntry) (*memoEntry, bool) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	lm.misses++
+	got, fresh := lm.insertLocked(key, e)
+	if fresh {
+		lm.records++
+	}
+	return got, fresh
+}
+
+// claim resolves a lookup miss under the record-once discipline: a late
+// in-memory hit returns the entry; an in-flight recording of the same
+// pre-state returns its flight to wait on; otherwise the caller becomes
+// the recorder and must release the returned flight when done. The
+// (nil, nil, false) return — a flight exists for the key but a different
+// pre-state (a 64-bit bucket collision) — tells the caller to record live
+// without flight bookkeeping.
+func (lm *LayerMemo) claim(key memoKey, pre []byte) (*memoEntry, *memoFlight, bool) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for _, e := range lm.entries[key] {
+		if bytes.Equal(e.pre, pre) {
+			lm.hits++
+			lm.lruTouch(e)
+			return e, nil, false
+		}
+	}
+	if fl, ok := lm.flights[key]; ok {
+		if bytes.Equal(fl.pre, pre) {
+			return nil, fl, false
+		}
+		return nil, nil, false
+	}
+	fl := &memoFlight{done: make(chan struct{}), pre: append([]byte(nil), pre...)}
+	lm.flights[key] = fl
+	return nil, fl, true
+}
+
+// release publishes the recorder's entry to flight waiters and retires
+// the flight.
+func (lm *LayerMemo) release(key memoKey, fl *memoFlight, e *memoEntry) {
+	lm.mu.Lock()
+	if lm.flights[key] == fl {
+		delete(lm.flights, key)
+	}
+	lm.mu.Unlock()
+	fl.e = e
+	close(fl.done)
+}
+
+func (lm *LayerMemo) noteFlightHit() {
+	lm.mu.Lock()
+	lm.flightHits++
+	lm.mu.Unlock()
+}
+
+// storeConfig snapshots the persistence wiring for one run.
+func (lm *LayerMemo) storeConfig() (*memostore.Store, string) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return lm.store, lm.salt
+}
+
+// --- persistence -------------------------------------------------------
+
+// progSig returns (computing once per program) a content hash of
+// everything a memo entry's validity depends on in the program: the full
+// instruction trace, the layer table, and the memory extent. Unlike the
+// in-memory key's pointer identity it is stable across processes, so it
+// anchors the disk keys.
+func (lm *LayerMemo) progSig(p *compiler.Program) string {
+	lm.mu.Lock()
+	sig, ok := lm.sigs[p]
+	lm.mu.Unlock()
+	if ok {
+		return sig
+	}
+	sig = computeProgSig(p)
+	lm.mu.Lock()
+	if prior, ok := lm.sigs[p]; ok {
+		sig = prior
+	} else {
+		lm.sigs[p] = sig
+	}
+	lm.mu.Unlock()
+	return sig
+}
+
+func computeProgSig(p *compiler.Program) string {
+	h := sha256.New()
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:]) //tnpu:errok (sha256 never fails)
+	}
+	w(uint64(len(p.Trace.Instrs)))
+	for i := range p.Trace.Instrs {
+		in := &p.Trace.Instrs[i]
+		w(uint64(in.Op))
+		w(uint64(in.Tensor))
+		w(uint64(in.Tile))
+		w(in.Version)
+		w(in.Cycles)
+		w(uint64(in.Layer))
+		w(uint64(len(in.Segments)))
+		for _, s := range in.Segments {
+			w(s.Addr)
+			w(s.Bytes)
+		}
+		w(uint64(len(in.Deps)))
+		for _, d := range in.Deps {
+			w(uint64(d))
+		}
+	}
+	w(uint64(len(p.LayerFirst)))
+	for i := range p.LayerFirst {
+		w(uint64(p.LayerFirst[i]))
+		w(uint64(p.LayerLast[i]))
+	}
+	w(p.MemoryTop)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// diskKey content-addresses one layer memo entry: the salt (code
+// version), the program signature, the layer index, and the exact
+// pre-state bytes. Parts are length-prefixed so distinct part lists
+// cannot collide by concatenation.
+func diskKey(salt, sig string, layer int32, pre []byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "layer|%d:%s|%d:%s|%d|%d:", len(salt), salt, len(sig), sig, layer, len(pre))
+	h.Write(pre) //tnpu:errok (sha256 never fails)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// encodeMemoBody frames an entry for the store: three length-prefixed
+// canon blobs (pre, post, acc).
+func encodeMemoBody(e *memoEntry) []byte {
+	out := make([]byte, 0, 24+e.size())
+	for _, blob := range [][]byte{e.pre, e.post, e.acc} {
+		out = canon.AppendU64(out, uint64(len(blob)))
+		out = append(out, blob...)
+	}
+	return out
+}
+
+// decodeMemoBody reverses encodeMemoBody without panicking: the store's
+// checksum already rejects torn bytes, so a malformed body means a stale
+// format and is simply refused.
+func decodeMemoBody(body []byte) (pre, post, acc []byte, ok bool) {
+	next := func(b []byte) ([]byte, []byte, bool) {
+		if len(b) < 8 {
+			return nil, nil, false
+		}
+		n := binary.LittleEndian.Uint64(b)
+		b = b[8:]
+		if uint64(len(b)) < n {
+			return nil, nil, false
+		}
+		return b[:n:n], b[n:], true
+	}
+	var rest []byte
+	if pre, rest, ok = next(body); !ok {
+		return nil, nil, nil, false
+	}
+	if post, rest, ok = next(rest); !ok {
+		return nil, nil, nil, false
+	}
+	if acc, rest, ok = next(rest); !ok || len(rest) != 0 {
+		return nil, nil, nil, false
+	}
+	return pre, post, acc, true
+}
+
+// loadFromDisk tries the persistent store for a signature the memory
+// cache missed. The decoded pre-state must byte-match the probe (the
+// SHA-256 key makes a mismatch all but impossible; the check keeps a
+// corrupted-but-checksummed entry from ever replaying).
+func (lm *LayerMemo) loadFromDisk(st *memostore.Store, salt, sig string, key memoKey, pre []byte) *memoEntry {
+	dk := diskKey(salt, sig, key.layer, pre)
+	body, ok := st.Load(dk)
+	if !ok {
+		return nil
+	}
+	dpre, post, acc, ok := decodeMemoBody(body)
+	if !ok || !bytes.Equal(dpre, pre) {
+		st.Delete(dk)
+		return nil
+	}
+	e := &memoEntry{pre: dpre, post: post, acc: acc}
+	lm.mu.Lock()
+	e, _ = lm.insertLocked(key, e)
+	lm.diskHits++
+	lm.mu.Unlock()
+	return e
 }
 
 // liveIns returns, per layer, the sorted instruction indices outside the
 // layer whose completion times the layer's dependencies read — the only
 // done[] entries that belong in the layer's state signature.
 func (lm *LayerMemo) liveIns(prog *compiler.Program) [][]int32 {
-	lm.mu.RLock()
+	lm.mu.Lock()
 	out, ok := lm.liveIn[prog]
-	lm.mu.RUnlock()
+	lm.mu.Unlock()
 	if ok {
 		return out
 	}
@@ -196,6 +559,13 @@ func layersContiguous(p *compiler.Program) bool {
 // already served traffic). Falls back to Run when memoization cannot
 // apply: nil memo, per-block path, IOMMU enabled, an engine without layer
 // canonicalization, or a layer table that does not tile the trace.
+//
+// Lookup escalates in cost: the in-memory cache, then the persistent
+// store (if attached), then the record-once flight table — a concurrent
+// recording of the same signature is waited on and replayed, never
+// duplicated — and only then a live recording. The recorded entry is
+// published to waiters before it is persisted, so disk latency is never
+// on another machine's critical path.
 func (m *Machine) RunMemoized(memo *LayerMemo) {
 	ls, isLS := m.eng.(memprot.LayerState)
 	if memo == nil || !m.batched || m.iotlb != nil || !isLS || !layersContiguous(m.prog) {
@@ -203,6 +573,11 @@ func (m *Machine) RunMemoized(memo *LayerMemo) {
 		return
 	}
 	live := memo.liveIns(m.prog)
+	st, salt := memo.storeConfig()
+	sig := ""
+	if st != nil {
+		sig = memo.progSig(m.prog)
+	}
 	for li := range m.prog.LayerFirst {
 		first, last := int(m.prog.LayerFirst[li]), int(m.prog.LayerLast[li])
 		ls.BeginLayer()
@@ -214,21 +589,54 @@ func (m *Machine) RunMemoized(memo *LayerMemo) {
 			m.replayLayer(e, ls, base, first, last)
 			continue
 		}
-		m.accBuf = m.appendAcc(m.accBuf[:0], ls)
-		nAcc := len(m.accBuf)
-		m.runLayer(last)
-		m.accBuf = m.appendAcc(m.accBuf, ls)
-		after := m.accBuf[nAcc:]
-		acc := make([]byte, len(after))
-		for i := 0; i < len(after); i += 8 {
-			binary.LittleEndian.PutUint64(acc[i:],
-				binary.LittleEndian.Uint64(after[i:])-binary.LittleEndian.Uint64(m.accBuf[i:]))
+		if st != nil {
+			if e := memo.loadFromDisk(st, salt, sig, key, pre); e != nil {
+				m.replayLayer(e, ls, base, first, last)
+				continue
+			}
 		}
-		memo.store(key, &memoEntry{
-			pre:  append([]byte(nil), pre...),
-			post: m.appendPost(nil, ls, base, first, last),
-			acc:  acc,
-		})
+		e, fl, leader := memo.claim(key, pre)
+		if e != nil {
+			m.replayLayer(e, ls, base, first, last)
+			continue
+		}
+		if fl != nil && !leader {
+			<-fl.done
+			if fl.e != nil {
+				memo.noteFlightHit()
+				m.replayLayer(fl.e, ls, base, first, last)
+				continue
+			}
+			// The recorder bailed; fall through and record live.
+		}
+		rec := m.recordLayer(ls, base, first, last, pre)
+		got, fresh := memo.record(key, rec)
+		if leader {
+			memo.release(key, fl, got)
+		}
+		if st != nil && fresh {
+			st.Save(diskKey(salt, sig, key.layer, pre), encodeMemoBody(got))
+		}
+	}
+}
+
+// recordLayer runs one layer live and captures its effect as a memo
+// entry: the end-state canon plus wrapping accumulator deltas.
+func (m *Machine) recordLayer(ls memprot.LayerState, base uint64, first, last int, pre []byte) *memoEntry {
+	m.accBuf = m.appendAcc(m.accBuf[:0], ls)
+	nAcc := len(m.accBuf)
+	m.runLayer(last)
+	m.accBuf = m.appendAcc(m.accBuf, ls)
+	after := m.accBuf[nAcc:]
+	acc := make([]byte, len(after))
+	for i := 0; i < len(after); i += 8 {
+		binary.LittleEndian.PutUint64(acc[i:],
+			binary.LittleEndian.Uint64(after[i:])-binary.LittleEndian.Uint64(m.accBuf[i:]))
+	}
+	return &memoEntry{
+		pre:  append([]byte(nil), pre...),
+		post: m.appendPost(nil, ls, base, first, last),
+		acc:  acc,
 	}
 }
 

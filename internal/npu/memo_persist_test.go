@@ -1,0 +1,278 @@
+package npu
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"tnpu/internal/memprot"
+	"tnpu/internal/npu/memostore"
+)
+
+func newTestStore(t *testing.T, dir string) *memostore.Store {
+	t.Helper()
+	st, err := memostore.New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestMemoPersistRoundTrip pins the tentpole guarantee (DESIGN.md §6g):
+// a run replayed entirely from disk-loaded memo entries — a fresh
+// LayerMemo in a "new process" over the directory an earlier memo
+// recorded into — is cycle-, traffic-, and stats-identical to both the
+// per-block reference and the fresh recording, for all four schemes.
+func TestMemoPersistRoundTrip(t *testing.T) {
+	cfg := SmallNPU()
+	prog := compileFor(t, "df", cfg)
+	dir := t.TempDir()
+	layers := uint64(len(prog.LayerFirst))
+
+	for _, scheme := range memprot.AllSchemes() {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			per := runPath(t, prog, scheme, cfg, nil, false)
+
+			recorder := NewLayerMemo()
+			recorder.AttachStore(newTestStore(t, dir), "vtest")
+			rec := runMemoPath(t, prog, scheme, cfg, nil, recorder)
+			if !reflect.DeepEqual(per, rec) {
+				t.Fatalf("recording run diverges from per-block reference:\n  per-block: %+v\n  recording: %+v", per, rec)
+			}
+			if s := recorder.Stats(); s.Store.Saves < layers {
+				t.Fatalf("recording run persisted %d entries, want at least the %d layers", s.Store.Saves, layers)
+			}
+
+			// A fresh memo over the same directory stands in for a new
+			// process: nothing in memory, everything on disk.
+			replayer := NewLayerMemo()
+			replayer.AttachStore(newTestStore(t, dir), "vtest")
+			rep := runMemoPath(t, prog, scheme, cfg, nil, replayer)
+			if !reflect.DeepEqual(per, rep) {
+				t.Errorf("disk-replayed run diverges from per-block reference:\n  per-block: %+v\n  replay:    %+v", per, rep)
+			}
+			s := replayer.Stats()
+			if s.DiskHits < layers {
+				t.Errorf("disk replay loaded %d entries, want at least the %d layers", s.DiskHits, layers)
+			}
+			if s.Records != 0 {
+				t.Errorf("disk replay re-recorded %d entries, want 0 (everything should load)", s.Records)
+			}
+		})
+	}
+}
+
+// TestMemoVersionStranding pins the salt keying: entries recorded under
+// one code-version salt must be invisible to a memo attached with a
+// different salt (stranded, re-recorded), and visible again to the
+// original salt.
+func TestMemoVersionStranding(t *testing.T) {
+	cfg := SmallNPU()
+	prog := compileFor(t, "df", cfg)
+	dir := t.TempDir()
+
+	recorder := NewLayerMemo()
+	recorder.AttachStore(newTestStore(t, dir), "v1")
+	want := runMemoPath(t, prog, memprot.TreeLess, cfg, nil, recorder)
+
+	bumped := NewLayerMemo()
+	bumped.AttachStore(newTestStore(t, dir), "v2")
+	got := runMemoPath(t, prog, memprot.TreeLess, cfg, nil, bumped)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("bumped-salt run diverges: want %+v got %+v", want, got)
+	}
+	if s := bumped.Stats(); s.DiskHits != 0 || s.Records == 0 {
+		t.Errorf("salt v2 over v1 entries: disk hits=%d records=%d, want 0 hits and fresh records", s.DiskHits, s.Records)
+	}
+
+	same := NewLayerMemo()
+	same.AttachStore(newTestStore(t, dir), "v1")
+	runMemoPath(t, prog, memprot.TreeLess, cfg, nil, same)
+	if s := same.Stats(); s.DiskHits == 0 || s.Records != 0 {
+		t.Errorf("salt v1 over v1 entries: disk hits=%d records=%d, want disk hits and no records", s.DiskHits, s.Records)
+	}
+}
+
+// synthEntry builds one distinct synthetic memo entry of the given size
+// (split across pre/post/acc is irrelevant to the budget accounting).
+func synthEntry(i, size int) (memoKey, *memoEntry) {
+	pre := make([]byte, size)
+	pre[0] = byte(i)
+	pre[1] = byte(i >> 8)
+	key := memoKey{layer: int32(i), hash: hashBlob(pre)}
+	return key, &memoEntry{pre: pre, post: []byte{}, acc: []byte{}}
+}
+
+// TestMemoBudgetEviction fills a LayerMemo past its (overridden) budget
+// with synthetic entries and pins the eviction discipline: least recently
+// used entries leave first, the byte/eviction counters stay exact, and
+// recently touched entries survive.
+func TestMemoBudgetEviction(t *testing.T) {
+	lm := NewLayerMemo()
+	const entrySize = 1024
+	lm.SetBudgetBytes(4 * entrySize)
+
+	keys := make([]memoKey, 8)
+	pres := make([][]byte, 8)
+	for i := 0; i < 4; i++ {
+		k, e := synthEntry(i, entrySize)
+		keys[i], pres[i] = k, e.pre
+		if _, fresh := lm.record(k, e); !fresh {
+			t.Fatalf("entry %d: not recorded fresh", i)
+		}
+	}
+	if s := lm.Stats(); s.Evictions != 0 || s.Bytes != 4*entrySize {
+		t.Fatalf("at budget: evictions=%d bytes=%d, want 0 and %d", s.Evictions, s.Bytes, 4*entrySize)
+	}
+
+	// Touch entry 0 so it is the most recently used; entry 1 becomes the
+	// LRU victim of the next insert.
+	if lm.lookup(keys[0], pres[0]) == nil {
+		t.Fatal("entry 0 missing before eviction")
+	}
+	k4, e4 := synthEntry(4, entrySize)
+	keys[4], pres[4] = k4, e4.pre
+	lm.record(k4, e4)
+
+	s := lm.Stats()
+	if s.Evictions != 1 {
+		t.Fatalf("after fifth insert: evictions=%d, want 1", s.Evictions)
+	}
+	if s.Bytes != 4*entrySize {
+		t.Fatalf("after fifth insert: bytes=%d, want %d", s.Bytes, 4*entrySize)
+	}
+	if lm.lookup(keys[1], pres[1]) != nil {
+		t.Error("entry 1 (LRU) survived eviction")
+	}
+	for _, i := range []int{0, 2, 3, 4} {
+		if lm.lookup(keys[i], pres[i]) == nil {
+			t.Errorf("entry %d evicted out of LRU order", i)
+		}
+	}
+
+	// An entry bigger than the whole budget is admitted alone (the budget
+	// is a steady-state bound): everything else is evicted, and the next
+	// normal insert evicts it in turn.
+	kBig, eBig := synthEntry(5, 5*entrySize)
+	lm.record(kBig, eBig)
+	if got := lm.Stats().Bytes; got != 5*entrySize {
+		t.Errorf("oversized entry: bytes=%d, want %d", got, 5*entrySize)
+	}
+	if lm.lookup(kBig, eBig.pre) == nil {
+		t.Error("oversized entry not admitted")
+	}
+}
+
+// TestMemoEvictedEntryReloadsFromDisk pins the persistence/eviction
+// composition (satellite of DESIGN.md §6g): under a budget too small to
+// hold a run's entries, a second pass reloads evicted entries from the
+// attached store instead of re-recording them.
+func TestMemoEvictedEntryReloadsFromDisk(t *testing.T) {
+	cfg := SmallNPU()
+	prog := compileFor(t, "df", cfg)
+
+	memo := NewLayerMemo()
+	memo.AttachStore(newTestStore(t, t.TempDir()), "vtest")
+	memo.SetBudgetBytes(1 << 14) // far below one run's entry volume
+
+	per := runPath(t, prog, memprot.TreeLess, cfg, nil, false)
+	rec := runMemoPath(t, prog, memprot.TreeLess, cfg, nil, memo)
+	if !reflect.DeepEqual(per, rec) {
+		t.Fatalf("recording run under tiny budget diverges:\n  per-block: %+v\n  recording: %+v", per, rec)
+	}
+	s0 := memo.Stats()
+	if s0.Evictions == 0 {
+		t.Fatalf("tiny budget (%d bytes) caused no evictions; test premise broken", 1<<14)
+	}
+
+	rep := runMemoPath(t, prog, memprot.TreeLess, cfg, nil, memo)
+	if !reflect.DeepEqual(per, rep) {
+		t.Errorf("replay after evictions diverges:\n  per-block: %+v\n  replay:    %+v", per, rep)
+	}
+	s1 := memo.Stats()
+	if s1.Records != s0.Records {
+		t.Errorf("second pass re-recorded %d entries, want 0 (evicted entries must reload from disk)", s1.Records-s0.Records)
+	}
+	if s1.DiskHits == s0.DiskHits {
+		t.Error("second pass loaded nothing from disk despite evictions")
+	}
+}
+
+// TestMemoRecordOnce pins the record-once flight discipline: many
+// machines running the same program concurrently against one cold memo
+// must record each distinct layer signature exactly once — waiters replay
+// the leader's entry instead of recording redundantly.
+func TestMemoRecordOnce(t *testing.T) {
+	cfg := SmallNPU()
+	prog := compileFor(t, "df", cfg)
+
+	seq := NewLayerMemo()
+	runMemoPath(t, prog, memprot.TreeLess, cfg, nil, seq)
+	wantRecords := seq.Stats().Records
+
+	memo := NewLayerMemo()
+	const workers = 8
+	states := make([]pathState, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			states[w] = runMemoPath(t, prog, memprot.TreeLess, cfg, nil, memo)
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if !reflect.DeepEqual(states[0], states[w]) {
+			t.Fatalf("concurrent run %d diverges from run 0", w)
+		}
+	}
+	s := memo.Stats()
+	if s.Records != wantRecords {
+		t.Errorf("concurrent cold runs recorded %d entries, sequential run records %d", s.Records, wantRecords)
+	}
+	if s.Misses != s.Records {
+		t.Errorf("live executions (%d) exceed recordings (%d): redundant concurrent recording", s.Misses, s.Records)
+	}
+	wantLookups := uint64(workers) * uint64(len(prog.LayerFirst))
+	if total := s.Hits + s.FlightHits + s.Misses; total != wantLookups {
+		t.Errorf("lookup accounting: hits %d + flight hits %d + misses %d = %d, want %d layer executions",
+			s.Hits, s.FlightHits, s.Misses, total, wantLookups)
+	}
+}
+
+// TestMemoDiskKeyDistinct spot-checks the disk key derivation: salt,
+// program signature, layer, and pre-state each move the key.
+func TestMemoDiskKeyDistinct(t *testing.T) {
+	pre := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	base := diskKey("v1", "sig", 0, pre)
+	if !memostore.ValidKey(base) {
+		t.Fatalf("diskKey %q is not a valid store key", base)
+	}
+	variants := map[string]string{
+		"salt":  diskKey("v2", "sig", 0, pre),
+		"sig":   diskKey("v1", "gis", 0, pre),
+		"layer": diskKey("v1", "sig", 1, pre),
+		"pre":   diskKey("v1", "sig", 0, []byte{8, 7, 6, 5, 4, 3, 2, 1}),
+	}
+	for what, k := range variants { //tnpu:orderfree — each variant checked independently
+		if k == base {
+			t.Errorf("changing %s did not change the disk key", what)
+		}
+	}
+	for i, p := range prefixAmbiguityPairs() {
+		if diskKey(p[0], p[1], 0, pre) == diskKey(p[2], p[3], 0, pre) {
+			t.Errorf("pair %d: length-prefixing failed, %q|%q collides with %q|%q", i, p[0], p[1], p[2], p[3])
+		}
+	}
+}
+
+// prefixAmbiguityPairs are (saltA, sigA, saltB, sigB) tuples whose naive
+// concatenations collide.
+func prefixAmbiguityPairs() [][4]string {
+	return [][4]string{
+		{"ab", "c", "a", "bc"},
+		{"", "ab", "ab", ""},
+	}
+}

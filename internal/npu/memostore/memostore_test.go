@@ -1,0 +1,246 @@
+package memostore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	st, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func key(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestSaveThenLoad(t *testing.T) {
+	st := newStore(t)
+	body := []byte("layer memo body bytes")
+	if !st.Save(key("a"), body) {
+		t.Fatal("Save failed")
+	}
+	got, ok := st.Load(key("a"))
+	if !ok || string(got) != string(body) {
+		t.Fatalf("Load = %q, %v; want body back", got, ok)
+	}
+	if _, ok := st.Load(key("absent")); ok {
+		t.Fatal("Load of absent key reported a hit")
+	}
+	s := st.Stats()
+	if s.Saves != 1 || s.Hits != 1 || s.Loads != 2 || s.Corrupt != 0 {
+		t.Errorf("stats = %+v, want 1 save, 1 hit, 2 loads", s)
+	}
+	if s.SavedBytes != uint64(len(body)) || s.LoadedBytes != uint64(len(body)) {
+		t.Errorf("byte counters = %+v, want %d each way", s, len(body))
+	}
+}
+
+// entryPath exposes where a key's entry lives, for corruption tests.
+func entryPath(st *Store, k string) string { return filepath.Join(st.Dir(), k+".memo") }
+
+// TestCorruptEntryModes mirrors the serve.Store corruption suite: every
+// way an entry can rot on disk must read as a miss, count as corrupt, and
+// leave the file deleted so a fresh recording replaces it.
+func TestCorruptEntryModes(t *testing.T) {
+	body := []byte("0123456789abcdef0123456789abcdef")
+	corrupt := []struct {
+		name   string
+		mangle func(raw []byte) []byte
+	}{
+		{"truncated-body", func(raw []byte) []byte { return raw[:len(raw)-5] }},
+		{"truncated-header", func(raw []byte) []byte { return raw[:8] }},
+		{"flipped-checksum-byte", func(raw []byte) []byte {
+			// Byte 10 sits inside the hex checksum field of the header.
+			out := append([]byte(nil), raw...)
+			if out[10] == 'a' {
+				out[10] = 'b'
+			} else {
+				out[10] = 'a'
+			}
+			return out
+		}},
+		{"flipped-body-byte", func(raw []byte) []byte {
+			out := append([]byte(nil), raw...)
+			out[len(out)-1] ^= 0xff
+			return out
+		}},
+		{"format-version-bump", func(raw []byte) []byte {
+			// A future format writes a different magic; this store must
+			// strand it, not guess at its framing.
+			return append([]byte("TNPUMEMO2"), raw[len(entryMagic):]...)
+		}},
+		{"empty-file", func([]byte) []byte { return nil }},
+	}
+	for i, tc := range corrupt {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			st := newStore(t)
+			k := key(fmt.Sprintf("entry-%d", i))
+			if !st.Save(k, body) {
+				t.Fatal("Save failed")
+			}
+			raw, err := os.ReadFile(entryPath(st, k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(entryPath(st, k), tc.mangle(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := st.Load(k); ok {
+				t.Fatalf("Load of corrupted entry returned %q", got)
+			}
+			if st.Stats().Corrupt != 1 {
+				t.Errorf("corrupt counter = %d, want 1", st.Stats().Corrupt)
+			}
+			if _, err := os.Stat(entryPath(st, k)); !os.IsNotExist(err) {
+				t.Error("corrupted entry not deleted")
+			}
+			// Re-recording must succeed and serve again.
+			if !st.Save(k, body) {
+				t.Fatal("re-Save after corruption failed")
+			}
+			if got, ok := st.Load(k); !ok || string(got) != string(body) {
+				t.Fatalf("re-recorded entry: Load = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestTwoProcessWriterRace mirrors the serve.Store writer-race test at the
+// memostore's level: two stores over one directory (two processes) saving
+// and loading the same key concurrently must never surface a torn or
+// partial entry — every load is a miss or the exact body.
+func TestTwoProcessWriterRace(t *testing.T) {
+	dir := t.TempDir()
+	a, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("contended")
+	body := make([]byte, 64<<10)
+	for i := range body {
+		body[i] = byte(i)
+	}
+
+	const rounds = 200
+	var wg sync.WaitGroup
+	errc := make(chan error, 3)
+	for _, st := range []*Store{a, b} {
+		st := st
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				st.Save(k, body)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			got, ok := a.Load(k)
+			if !ok {
+				continue
+			}
+			if len(got) != len(body) {
+				errc <- fmt.Errorf("round %d: loaded %d bytes, want %d", i, len(got), len(body))
+				return
+			}
+			for j := range got {
+				if got[j] != body[j] {
+					errc <- fmt.Errorf("round %d: torn entry at byte %d", i, j)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if s := a.Stats(); s.Corrupt != 0 {
+		t.Errorf("writer race produced %d corrupt reads; atomic rename should prevent any", s.Corrupt)
+	}
+	// No temp litter: every .tmp-memo-* file must be renamed or removed.
+	matches, err := filepath.Glob(filepath.Join(dir, ".tmp-memo-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("leftover temp files after race: %v", matches)
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	st := newStore(t)
+	bad := []string{
+		"",
+		"short",
+		"../../../../etc/passwd",
+		key("x") + "0",                 // too long
+		"zz" + key("x")[2:],            // not hex
+		"TNPUMEMO1 0000000000000000 0", // framing junk
+	}
+	for _, k := range bad {
+		if ValidKey(k) {
+			t.Errorf("ValidKey(%q) = true", k)
+		}
+		if st.Save(k, []byte("body")) {
+			t.Errorf("Save(%q) accepted an invalid key", k)
+		}
+		if _, ok := st.Load(k); ok {
+			t.Errorf("Load(%q) hit on an invalid key", k)
+		}
+	}
+	if s := st.Stats(); s.Errors == 0 {
+		t.Error("invalid keys not counted as errors")
+	}
+	if !ValidKey(key("good")) {
+		t.Error("ValidKey rejected a hex sha256 digest")
+	}
+}
+
+func TestNilStoreNoOps(t *testing.T) {
+	var st *Store
+	if st.Dir() != "" {
+		t.Error("nil store has a dir")
+	}
+	if _, ok := st.Load(key("a")); ok {
+		t.Error("nil store load hit")
+	}
+	if st.Save(key("a"), []byte("b")) {
+		t.Error("nil store save succeeded")
+	}
+	st.Delete(key("a"))
+	if s := st.Stats(); s != (Stats{}) {
+		t.Errorf("nil store stats = %+v, want zero", s)
+	}
+}
+
+func TestDeleteRemovesEntry(t *testing.T) {
+	st := newStore(t)
+	k := key("doomed")
+	st.Save(k, []byte("body"))
+	st.Delete(k)
+	if _, ok := st.Load(k); ok {
+		t.Error("entry survived Delete")
+	}
+	st.Delete(k) // deleting an absent entry is fine
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 	"tnpu/internal/exp"
 	"tnpu/internal/memprot"
 	"tnpu/internal/model"
+	"tnpu/internal/npu/memostore"
 	"tnpu/internal/plot"
 )
 
@@ -34,6 +36,13 @@ type Options struct {
 	// CodeVersion overrides exp.CodeVersion in cache keys (tests use
 	// this to prove version bumps strand stale entries).
 	CodeVersion string
+	// MemoDir is the persistent memo-store directory (layer memos and
+	// whole-run cell results; DESIGN.md §6g). Empty = "memo" beside the
+	// result cache; "off" disables persistence. Unlike the result cache
+	// — whose entries are final artifacts — the memo store holds the
+	// regenerable intermediates that make recomputing those artifacts
+	// cheap after the result cache is wiped or its code version bumps.
+	MemoDir string
 }
 
 // Server is the simulation service: stateless HTTP handlers over one
@@ -88,6 +97,19 @@ func New(opts Options) (*Server, error) {
 	r := exp.NewRunner(models...)
 	r.Workers = opts.Workers
 	r.Progress = bus
+	memoDir := opts.MemoDir
+	if memoDir == "" {
+		memoDir = filepath.Join(opts.CacheDir, "memo")
+	}
+	if memoDir != "off" {
+		// The memo salt stays exp.CodeVersion even when opts.CodeVersion
+		// overrides the artifact keys: the override exercises result-cache
+		// stranding, while memo entries are tied to what actually changes
+		// their meaning — the simulator revision.
+		if err := r.SetMemoDir(memoDir); err != nil {
+			return nil, err
+		}
+	}
 
 	s := &Server{
 		runner:   r,
@@ -119,6 +141,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Store exposes the disk cache (tests and /stats).
 func (s *Server) Store() *Store { return s.store }
+
+// Runner exposes the shared experiment harness (memo wiring and stats).
+func (s *Server) Runner() *exp.Runner { return s.runner }
 
 // errBusy is returned when the job queue is full; mapped to 503.
 var errBusy = fmt.Errorf("serve: job queue full, retry later")
@@ -735,11 +760,25 @@ type StatsDoc struct {
 		Rejected uint64 `json:"rejected"`
 	} `json:"queue"`
 
-	// Memo is the shared layer-replay cache (exp.Runner.MemoStats).
+	// Memo is the shared layer-replay cache (exp.Runner.LayerMemoStats):
+	// in-memory replays, live recordings, record-once flight waits,
+	// replays loaded off the persistent store, and budget evictions.
 	Memo struct {
-		Hits   uint64 `json:"hits"`
-		Misses uint64 `json:"misses"`
+		Hits       uint64 `json:"hits"`
+		Misses     uint64 `json:"misses"`
+		FlightHits uint64 `json:"flight_hits"`
+		DiskHits   uint64 `json:"disk_hits"`
+		Records    uint64 `json:"records"`
+		Evictions  uint64 `json:"evictions"`
+		Bytes      int    `json:"bytes"`
 	} `json:"memo"`
+
+	// MemoStore is the persistent memo store backing both the layer memo
+	// and the whole-run cell memos (empty dir = persistence disabled).
+	MemoStore struct {
+		Dir string `json:"dir"`
+		memostore.Stats
+	} `json:"memo_store"`
 
 	// MultiCache is the shared multi-NPU joint-run cache
 	// (exp.Runner.MultiCacheStats).
@@ -782,7 +821,16 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	doc.Queue.Capacity = s.maxQueue
 	doc.Queue.Rejected = s.rejected.Load()
 
-	doc.Memo.Hits, doc.Memo.Misses = s.runner.MemoStats()
+	lm := s.runner.LayerMemoStats()
+	doc.Memo.Hits = lm.Hits
+	doc.Memo.Misses = lm.Misses
+	doc.Memo.FlightHits = lm.FlightHits
+	doc.Memo.DiskHits = lm.DiskHits
+	doc.Memo.Records = lm.Records
+	doc.Memo.Evictions = lm.Evictions
+	doc.Memo.Bytes = lm.Bytes
+	doc.MemoStore.Dir = s.runner.MemoDir()
+	doc.MemoStore.Stats = s.runner.CellStoreStats()
 	doc.MultiCache.Hits, doc.MultiCache.Misses = s.runner.MultiCacheStats()
 
 	log := s.runner.Log()

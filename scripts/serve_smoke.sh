@@ -9,6 +9,12 @@
 # TNPU_SERVE_EXPECT_WARM=1, proving the disk cache survives a process
 # restart and the warm process computes nothing.
 #
+# A third leg then wipes only the result-cache entries (keeping the
+# persistent memo store) and restarts: the server must regenerate every
+# artifact, but from whole-run memos rather than simulation, so the leg
+# must beat the cold leg's wall time and /stats must show memo-store
+# hits.
+#
 # Usage:
 #   scripts/serve_smoke.sh            # default 300 requests per leg
 #   SERVE_SMOKE_LOAD=2000 scripts/serve_smoke.sh
@@ -50,7 +56,9 @@ go build -o "$bin" ./cmd/tnpu-serve
 server_url=""
 boot() {
   local log="$1"
-  "$bin" -addr 127.0.0.1:0 -cache "$cache" -models df >"$log" 2>&1 &
+  # The memo store lives under the log directory so a CI failure uploads
+  # its contents alongside the server logs.
+  "$bin" -addr 127.0.0.1:0 -cache "$cache" -memodir "$logdir/memo" -models df >"$log" 2>&1 &
   server_pid=$!
   server_url=""
   for _ in $(seq 1 100); do
@@ -76,10 +84,14 @@ stop() {
   server_pid=""
 }
 
+now_ms() { date +%s%3N; }
+
 echo "== cold leg: $load requests against a fresh cache =="
 boot "$logdir/cold.log"
+cold_start="$(now_ms)"
 TNPU_SERVE_URL="$server_url" TNPU_SERVE_LOAD="$load" \
   go test ./internal/serve -run TestLoadAgainstExternalServer -count=1 -v
+cold_ms="$(( $(now_ms) - cold_start ))"
 stop
 
 echo "== warm leg: $load requests after a restart, zero computes allowed =="
@@ -88,4 +100,25 @@ TNPU_SERVE_URL="$server_url" TNPU_SERVE_LOAD="$load" TNPU_SERVE_EXPECT_WARM=1 \
   go test ./internal/serve -run TestLoadAgainstExternalServer -count=1 -v
 stop
 
-echo "serve_smoke: both legs clean"
+echo "== memo-warm leg: result cache wiped, memo store intact =="
+rm -f "$cache"/*.entry
+boot "$logdir/memowarm.log"
+memowarm_start="$(now_ms)"
+TNPU_SERVE_URL="$server_url" TNPU_SERVE_LOAD="$load" \
+  go test ./internal/serve -run TestLoadAgainstExternalServer -count=1 -v
+memowarm_ms="$(( $(now_ms) - memowarm_start ))"
+stats="$(curl -fsS "$server_url/stats")"
+stop
+
+echo "cold leg ${cold_ms}ms, memo-warm regeneration ${memowarm_ms}ms"
+if [ "$memowarm_ms" -ge "$cold_ms" ]; then
+  echo "serve_smoke: memo-warm regeneration (${memowarm_ms}ms) did not beat the cold leg (${cold_ms}ms)" >&2
+  exit 1
+fi
+memo_hits="$(printf '%s' "$stats" | sed -n 's/.*"memo_store":{[^}]*"hits":\([0-9]*\).*/\1/p')"
+if [ -z "$memo_hits" ] || [ "$memo_hits" -eq 0 ]; then
+  echo "serve_smoke: memo-warm leg reported no memo-store hits; /stats was:" >&2
+  printf '%s\n' "$stats" >&2
+  exit 1
+fi
+echo "serve_smoke: all three legs clean (memo store served $memo_hits hits)"
