@@ -38,30 +38,51 @@ var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
 // diagnostics against // want comments.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
 	t.Helper()
-	dir := t.TempDir()
-	src := filepath.Join(testdata, "src")
-	if err := copyTree(dir, src); err != nil {
-		t.Fatalf("copy testdata: %v", err)
+	failures, err := Check(t.TempDir(), testdata, a, patterns...)
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
 	}
-	gomod := filepath.Join(dir, "go.mod")
+	for _, f := range failures {
+		t.Error(f)
+	}
+}
+
+// Check is Run's engine, decoupled from *testing.T so the framework can
+// test itself: it materializes the fixture tree into scratch (an empty
+// directory the caller owns), runs the analyzer, and returns one
+// human-readable failure string per mismatch between diagnostics and
+// // want expectations — unmet wants first (in file/line order), then
+// unexpected diagnostics. An empty slice means the fixture passed.
+func Check(scratch, testdata string, a *analysis.Analyzer, patterns ...string) ([]string, error) {
+	src := filepath.Join(testdata, "src")
+	if err := copyTree(scratch, src); err != nil {
+		return nil, fmt.Errorf("copy testdata: %v", err)
+	}
+	gomod := filepath.Join(scratch, "go.mod")
 	if err := os.WriteFile(gomod, []byte("module testdata\n\ngo 1.22\n"), 0o666); err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	var qualified []string
 	for _, p := range patterns {
 		qualified = append(qualified, "testdata/"+p)
 	}
-	diags, err := checker.RunPatterns(dir, []*analysis.Analyzer{a}, qualified...)
+	diags, err := checker.RunPatterns(scratch, []*analysis.Analyzer{a}, qualified...)
 	if err != nil {
-		t.Fatalf("run %s: %v", a.Name, err)
+		return nil, err
 	}
 
-	wants, err := collectWants(src)
-	if err != nil {
-		t.Fatal(err)
+	// Only the requested packages' wants apply: testdata trees hold
+	// several independent fixture suites, and a want in a package this
+	// invocation does not analyze must not count as unmet.
+	wants := make(map[posKey][]string)
+	for _, p := range patterns {
+		if err := collectWants(src, filepath.Join(src, p), wants); err != nil {
+			return nil, err
+		}
 	}
 	// Index diagnostics by file-relative position; testdata files were
 	// copied, so strip the temp dir to compare against the source tree.
+	var failures []string
 	matched := make([]bool, len(diags))
 	var keys []posKey
 	for key := range wants {
@@ -80,7 +101,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string
 				if matched[i] {
 					continue
 				}
-				rel, rErr := filepath.Rel(dir, d.Position.Filename)
+				rel, rErr := filepath.Rel(scratch, d.Position.Filename)
 				if rErr != nil {
 					continue
 				}
@@ -91,16 +112,19 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string
 				}
 			}
 			if !found {
-				t.Errorf("%s:%d: expected diagnostic containing %q, got none", key.file, key.line, want)
+				failures = append(failures,
+					fmt.Sprintf("%s:%d: expected diagnostic containing %q, got none", key.file, key.line, want))
 			}
 		}
 	}
 	for i, d := range diags {
 		if !matched[i] {
-			rel, _ := filepath.Rel(dir, d.Position.Filename)
-			t.Errorf("%s:%d: unexpected diagnostic: %s", rel, d.Position.Line, d.Message)
+			rel, _ := filepath.Rel(scratch, d.Position.Filename)
+			failures = append(failures,
+				fmt.Sprintf("%s:%d: unexpected diagnostic: %s", rel, d.Position.Line, d.Message))
 		}
 	}
+	return failures, nil
 }
 
 type posKey struct {
@@ -108,10 +132,10 @@ type posKey struct {
 	line int
 }
 
-// collectWants scans the original testdata sources for // want comments.
-func collectWants(src string) (map[posKey][]string, error) {
-	wants := make(map[posKey][]string)
-	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+// collectWants scans one fixture package directory for // want comments,
+// keyed by position relative to the testdata src root.
+func collectWants(root, dir string, wants map[posKey][]string) error {
+	return filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
 		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
 			return err
 		}
@@ -119,7 +143,7 @@ func collectWants(src string) (map[posKey][]string, error) {
 		if err != nil {
 			return err
 		}
-		rel, err := filepath.Rel(src, path)
+		rel, err := filepath.Rel(root, path)
 		if err != nil {
 			return err
 		}
@@ -132,7 +156,6 @@ func collectWants(src string) (map[posKey][]string, error) {
 		}
 		return nil
 	})
-	return wants, err
 }
 
 // copyTree copies the package tree under src into dst, flattening the

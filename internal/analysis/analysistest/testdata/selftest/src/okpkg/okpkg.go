@@ -1,0 +1,9 @@
+// Package okpkg is the matching positive control: one diagnostic, one
+// want, zero failures.
+package okpkg
+
+func boom() {}
+
+func use() {
+	boom() // want "call to boom is forbidden"
+}

@@ -1,0 +1,11 @@
+// Package selftest is a deliberately broken fixture: its want
+// expectations disagree with the boom analyzer's diagnostics in both
+// directions, so the framework's own failure rendering can be asserted.
+package selftest
+
+func boom() {}
+
+func use() {
+	boom() // fires a diagnostic with no want comment
+	_ = 1  // want "never fires"
+}

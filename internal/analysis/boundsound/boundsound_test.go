@@ -1,0 +1,12 @@
+package boundsound_test
+
+import (
+	"testing"
+
+	"tnpu/internal/analysis/analysistest"
+	"tnpu/internal/analysis/boundsound"
+)
+
+func TestBoundsound(t *testing.T) {
+	analysistest.Run(t, "testdata", boundsound.Analyzer, "boundsound")
+}

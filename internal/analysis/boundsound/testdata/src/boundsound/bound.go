@@ -1,0 +1,108 @@
+// Package boundsound exercises both rules: fallback reachability for
+// ReadRun/WriteRun pairs (own block methods, a runPerBlock loop, a
+// reference-marked helper, or an exactform waiver) and guard coverage
+// for fastpath call sites (direct conditions, guard-derived locals,
+// cross-package guard facts, and the guardok waiver).
+package boundsound
+
+import "testdata/guarddep"
+
+// blockDev has guarded fast paths and per-block fallbacks.
+type blockDev struct{ n uint64 }
+
+func (d *blockDev) ReadBlock(a uint64) uint64  { d.n++; return a }
+func (d *blockDev) WriteBlock(a uint64) uint64 { d.n++; return a }
+
+// canStreak reports whether the closed form applies.
+//
+//tnpu:guard
+func (d *blockDev) canStreak(n int) bool { return n > 4 }
+
+// readStreak is the closed form.
+//
+//tnpu:fastpath
+func (d *blockDev) readStreak(a uint64, n int) uint64 { return a + uint64(n) }
+
+// writeStreak is the closed form.
+//
+//tnpu:fastpath
+func (d *blockDev) writeStreak(a uint64, n int) uint64 { return a * uint64(n) }
+
+// ReadRun guards the fast path directly and falls back per block.
+func (d *blockDev) ReadRun(a uint64, n int) uint64 {
+	if n > 2 && d.canStreak(n) {
+		return d.readStreak(a, n)
+	}
+	var out uint64
+	for i := 0; i < n; i++ {
+		out = d.ReadBlock(a + uint64(i))
+	}
+	return out
+}
+
+// WriteRun reaches the fast path through a guard-derived local.
+func (d *blockDev) WriteRun(a uint64, n int) uint64 {
+	fast := n > 2 && d.canStreak(n)
+	if fast {
+		return d.writeStreak(a, n)
+	}
+	var out uint64
+	for i := 0; i < n; i++ {
+		out = d.WriteBlock(a + uint64(i))
+	}
+	return out
+}
+
+// Sum calls the fast path with no guard anywhere.
+func (d *blockDev) Sum(a uint64, n int) uint64 {
+	return d.readStreak(a, n) // want "not under an if-condition"
+}
+
+// Avg guards with a condition unrelated to any guard predicate.
+func (d *blockDev) Avg(a uint64, n int) uint64 {
+	if n > 0 {
+		return d.readStreak(a, n) // want "not under an if-condition"
+	}
+	return 0
+}
+
+// Max documents a deliberate unguarded call.
+func (d *blockDev) Max(a uint64, n int) uint64 {
+	return d.writeStreak(a, n) //tnpu:guardok fixture probe, bound re-checked by caller
+}
+
+// Tail is licensed by a cross-package guard fact.
+func (d *blockDev) Tail(a uint64, n int) uint64 {
+	if guarddep.Begin(n) {
+		return d.readStreak(a, n)
+	}
+	return d.ReadBlock(a)
+}
+
+// flatDev ships closed forms with no reachable reference.
+type flatDev struct{ n uint64 }
+
+func (d *flatDev) ReadBlock(a uint64) uint64  { return a }
+func (d *flatDev) WriteBlock(a uint64) uint64 { return a }
+
+// ReadRun has no fallback branch and no waiver.
+func (d *flatDev) ReadRun(a uint64, n int) uint64 { return a + uint64(n) } // want "reaches no per-block reference"
+
+// WriteRun asserts exactness instead.
+//
+//tnpu:exactform pure arithmetic over the run length, pinned by fixture
+func (d *flatDev) WriteRun(a uint64, n int) uint64 { return a * uint64(n) }
+
+// loopDev reaches the reference through runPerBlock and a marked helper.
+type loopDev struct{ n uint64 }
+
+func (d *loopDev) ReadBlock(a uint64) uint64  { return a }
+func (d *loopDev) WriteBlock(a uint64) uint64 { return a }
+
+func runPerBlock(n int) uint64 { return uint64(n) }
+
+// helperRef replays the per-block path. //tnpu:reference
+func helperRef(n int) uint64 { return uint64(n) }
+
+func (d *loopDev) ReadRun(a uint64, n int) uint64  { return a + runPerBlock(n) }
+func (d *loopDev) WriteRun(a uint64, n int) uint64 { return a + helperRef(n) }

@@ -1,0 +1,16 @@
+package canoncover_test
+
+import (
+	"testing"
+
+	"tnpu/internal/analysis/analysistest"
+	"tnpu/internal/analysis/canoncover"
+)
+
+func TestCanonPair(t *testing.T) {
+	analysistest.Run(t, "testdata", canoncover.Analyzer, "canonpair")
+}
+
+func TestDigestCover(t *testing.T) {
+	analysistest.Run(t, "testdata", canoncover.Analyzer, "npu", "exp", "missing/exp")
+}

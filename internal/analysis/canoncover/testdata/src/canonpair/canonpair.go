@@ -1,0 +1,130 @@
+// Package canonpair exercises the two-sided coverage rule over types
+// implementing the AppendCanon/RestoreCanon pair, including the accum
+// and delta side channels, helper indirection, embedded fields, and the
+// canonskip waiver (fresh and stale).
+package canonpair
+
+// good covers every field on both sides.
+type good struct {
+	a uint64
+	b []byte
+}
+
+func (g *good) AppendCanon(dst []byte) []byte {
+	dst = append(dst, byte(g.a))
+	return append(dst, g.b...)
+}
+
+func (g *good) RestoreCanon(src []byte) []byte {
+	g.a = uint64(src[0])
+	g.b = append(g.b[:0], src[1:]...)
+	return src[len(src):]
+}
+
+// badappend restores x but never serializes it.
+type badappend struct {
+	x uint64 // want "never written by Append"
+	y uint64
+}
+
+func (b *badappend) AppendCanon(dst []byte) []byte { return append(dst, byte(b.y)) }
+
+func (b *badappend) RestoreCanon(src []byte) []byte {
+	b.x = 0
+	b.y = uint64(src[0])
+	return src[1:]
+}
+
+// badrestore serializes z but never restores it.
+type badrestore struct {
+	z uint64 // want "never restored"
+}
+
+func (b *badrestore) AppendCanon(dst []byte) []byte  { return append(dst, byte(b.z)) }
+func (b *badrestore) RestoreCanon(src []byte) []byte { return src }
+
+// waived declares memo as rebuild-on-demand state.
+type waived struct {
+	hot  uint64
+	memo uint64 //tnpu:canonskip derived cache, rebuilt lazily on first use
+}
+
+func (w *waived) AppendCanon(dst []byte) []byte  { return append(dst, byte(w.hot)) }
+func (w *waived) RestoreCanon(src []byte) []byte { w.hot = uint64(src[0]); return src[1:] }
+
+// stale carries a waiver on a field that is in fact fully serialized.
+type stale struct {
+	k uint64 //tnpu:canonskip obsolete reason // want "stale //tnpu:canonskip"
+}
+
+func (s *stale) AppendCanon(dst []byte) []byte  { return append(dst, byte(s.k)) }
+func (s *stale) RestoreCanon(src []byte) []byte { s.k = uint64(src[0]); return src[1:] }
+
+// accum covers state through the canon pair, total through the accum
+// channel, and journal through the delta channel.
+type accum struct {
+	state   uint64
+	total   uint64
+	journal []uint64
+}
+
+func (a *accum) AppendCanon(dst []byte) []byte  { return append(dst, byte(a.state)) }
+func (a *accum) RestoreCanon(src []byte) []byte { a.state = uint64(src[0]); return src[1:] }
+func (a *accum) AppendAccum(dst []byte) []byte  { return append(dst, byte(a.total)) }
+func (a *accum) AddAccum(src []byte) []byte     { a.total += uint64(src[0]); return src[1:] }
+
+func (a *accum) AppendDelta(dst []byte) []byte {
+	for _, j := range a.journal {
+		dst = append(dst, byte(j))
+	}
+	return dst
+}
+
+func (a *accum) ApplyDelta(src []byte) []byte {
+	a.journal = append(a.journal[:0], uint64(src[0]))
+	return src[1:]
+}
+
+// viaHelper reaches its fields through a same-receiver helper method.
+type viaHelper struct {
+	p uint64
+	q uint64
+}
+
+func (v *viaHelper) appendAll(dst []byte) []byte {
+	return append(dst, byte(v.p), byte(v.q))
+}
+
+func (v *viaHelper) AppendCanon(dst []byte) []byte { return v.appendAll(dst) }
+
+func (v *viaHelper) RestoreCanon(src []byte) []byte {
+	v.p = uint64(src[0])
+	v.q = uint64(src[1])
+	return src[2:]
+}
+
+// core is embedded below; its promoted field counts as coverage of the
+// embedded root.
+type core struct{ val uint64 }
+
+type emb struct {
+	core
+	extra uint64
+}
+
+func (e *emb) AppendCanon(dst []byte) []byte {
+	return append(dst, byte(e.val), byte(e.extra))
+}
+
+func (e *emb) RestoreCanon(src []byte) []byte {
+	e.val = uint64(src[0])
+	e.extra = uint64(src[1])
+	return src[2:]
+}
+
+// onesided has no RestoreCanon, so the pair rule does not apply.
+type onesided struct {
+	ignored uint64
+}
+
+func (o *onesided) AppendCanon(dst []byte) []byte { return dst }

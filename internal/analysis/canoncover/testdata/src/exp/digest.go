@@ -1,0 +1,29 @@
+// Package exp exercises the //tnpu:digestcover proof: every unwaived
+// leaf of the target struct must be mentioned (directly or via an
+// ancestor path) in the digest function's body.
+package exp
+
+import "testdata/npu"
+
+// ConfigDigest renders every result-affecting leaf.
+//
+//tnpu:digestcover npu.Config
+func ConfigDigest(cfg npu.Config) uint64 {
+	return cfg.Mem.Freq + cfg.Mem.BW + uint64(cfg.TLB)
+}
+
+// SubtreeDigest covers the Mem leaves by passing the whole subtree.
+//
+//tnpu:digestcover npu.Config
+func SubtreeDigest(cfg npu.Config) uint64 {
+	return render(cfg.Mem) + uint64(cfg.TLB)
+}
+
+func render(m npu.Mem) uint64 { return m.Freq + m.BW }
+
+// BadDigest forgets the TLB leaf.
+//
+//tnpu:digestcover npu.Config
+func BadDigest(cfg npu.Config) uint64 { // want "does not cover npu.Config field TLB"
+	return cfg.Mem.Freq + cfg.Mem.BW
+}

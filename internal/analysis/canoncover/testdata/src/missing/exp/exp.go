@@ -1,0 +1,6 @@
+// Package exp (under missing/) drops the mandatory digestcover marker
+// from its ConfigDigest, tripping the required-digest registry.
+package exp
+
+// ConfigDigest lacks the marker the contract demands.
+func ConfigDigest(x uint64) uint64 { return x } // want "must carry //tnpu:digestcover npu.Config"

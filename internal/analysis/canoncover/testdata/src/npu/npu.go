@@ -1,0 +1,17 @@
+// Package npu mirrors the real npu.Config shape for the digest fixtures:
+// a nested config struct with one display-only field waived at its
+// declaration. The waiver travels to dependent packages as a fact.
+package npu
+
+// Mem is a nested configuration subtree.
+type Mem struct {
+	Freq uint64
+	BW   uint64
+}
+
+// Config is the digest target.
+type Config struct {
+	Name string //tnpu:canonskip display label, never read by the timing model
+	Mem  Mem
+	TLB  int
+}

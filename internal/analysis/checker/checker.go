@@ -2,14 +2,20 @@
 // supports:
 //
 //   - Standalone: load packages by pattern through internal/analysis/load
-//     and run every analyzer over each (RunPatterns) — `tnpu-vet ./...`.
+//     and run every analyzer over each (Run / RunPatterns) —
+//     `tnpu-vet ./...`. One load serves the whole analyzer suite, and
+//     in-module dependency packages are visited first (facts-producing
+//     analyzers only, diagnostics suppressed) so cross-package facts are
+//     always available before their consumers run.
 //   - Vet tool: speak cmd/go's vet.cfg protocol (RunVetCfg) so the same
 //     binary plugs into `go vet -vettool=$(which tnpu-vet)`. cmd/go hands
-//     the tool a JSON config per package naming the source files and the
-//     export data of the dependency closure, expects diagnostics on
-//     stderr with a non-zero exit, and requires the VetxOutput facts file
-//     to be written (this suite keeps no cross-package facts, so the file
-//     is always empty).
+//     the tool a JSON config per package naming the source files, the
+//     export data of the dependency closure, and the .vetx facts files of
+//     already-vetted dependencies; it expects diagnostics on stderr with
+//     a non-zero exit and requires the VetxOutput facts file to be
+//     written. The facts store round-trips through those files: each
+//     written vetx carries the full transitive store, so indirect
+//     dependencies' facts survive the per-package relay.
 //
 // In both modes a package's test variant ("pkg [pkg.test]") re-lists the
 // non-test sources, so diagnostics from variants are filtered to
@@ -24,10 +30,13 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"tnpu/internal/analysis"
+	"tnpu/internal/analysis/facts"
 	"tnpu/internal/analysis/load"
 )
 
@@ -36,35 +45,70 @@ type Diagnostic struct {
 	Position token.Position
 	Analyzer string
 	Message  string
+
+	// Waiver names the //tnpu:<marker> that would suppress this finding
+	// (the diagnostic's own, falling back to the analyzer's default).
+	Waiver string
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
 }
 
-// runPackage applies every analyzer to one loaded package. testOnly
-// restricts reported findings to _test.go files (set for test variants
-// whose non-test files were already analyzed as the base package).
-func runPackage(pkg *load.Package, analyzers []*analysis.Analyzer, testOnly bool) ([]Diagnostic, error) {
+// Result carries everything a full standalone run produced.
+type Result struct {
+	Diagnostics []Diagnostic
+	// Facts is the cross-package fact store accumulated over the run
+	// (certification output is harvested from here).
+	Facts *facts.Store
+	// LoadTime is the wall time of listing, parsing, and type-checking —
+	// paid once for the whole suite.
+	LoadTime time.Duration
+	// AnalyzerTime is cumulative wall time per analyzer across packages.
+	AnalyzerTime map[string]time.Duration
+}
+
+// runPackage applies analyzers to one loaded package. testOnly restricts
+// reported findings to _test.go files (set for test variants whose
+// non-test files were already analyzed as the base package). report=false
+// runs only fact-producing analyzers and discards their diagnostics —
+// the dependency-package mode. times, when non-nil, accumulates per-
+// analyzer wall time.
+func runPackage(pkg *load.Package, analyzers []*analysis.Analyzer, store *facts.Store, testOnly, report bool, times map[string]time.Duration) ([]Diagnostic, error) {
 	var out []Diagnostic
 	for _, a := range analyzers {
+		if !report && !a.UsesFacts {
+			continue
+		}
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
 			Files:     pkg.Syntax,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
+			Facts:     store,
 		}
-		name := a.Name
+		name, waiver := a.Name, a.DefaultWaiver
 		pass.Report = func(d analysis.Diagnostic) {
+			if !report {
+				return
+			}
 			pos := pkg.Fset.Position(d.Pos)
 			if testOnly && !strings.HasSuffix(pos.Filename, "_test.go") {
 				return
 			}
-			out = append(out, Diagnostic{Position: pos, Analyzer: name, Message: d.Message})
+			w := d.Waiver
+			if w == "" {
+				w = waiver
+			}
+			out = append(out, Diagnostic{Position: pos, Analyzer: name, Message: d.Message, Waiver: w})
 		}
+		start := time.Now()
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %v", pkg.ImportPath, a.Name, err)
+		}
+		if times != nil {
+			times[a.Name] += time.Since(start)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -87,22 +131,40 @@ func isTestVariant(pkg *load.Package) bool {
 	return pkg.ForTest != "" && !strings.HasSuffix(pkg.Types.Name(), "_test")
 }
 
-// RunPatterns loads patterns (tests included) in dir and runs the suite,
-// returning every finding in deterministic order.
-func RunPatterns(dir string, analyzers []*analysis.Analyzer, patterns ...string) ([]Diagnostic, error) {
+// Run loads patterns (tests included) in dir once, applies the suite in
+// dependency order with a shared facts store, and returns diagnostics
+// (deterministically ordered), the store, and timing.
+func Run(dir string, analyzers []*analysis.Analyzer, patterns ...string) (*Result, error) {
+	start := time.Now()
 	pkgs, err := load.Load(load.Config{Dir: dir, Tests: true}, patterns...)
 	if err != nil {
 		return nil, err
 	}
-	var out []Diagnostic
+	res := &Result{
+		Facts:        facts.New(),
+		LoadTime:     time.Since(start),
+		AnalyzerTime: make(map[string]time.Duration),
+	}
+	// load.Load preserves go list -deps order: dependencies precede
+	// dependents, so facts are complete before any consumer runs.
 	for _, pkg := range pkgs {
-		ds, err := runPackage(pkg, analyzers, isTestVariant(pkg))
+		ds, err := runPackage(pkg, analyzers, res.Facts, isTestVariant(pkg), pkg.Root, res.AnalyzerTime)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, ds...)
+		res.Diagnostics = append(res.Diagnostics, ds...)
 	}
-	return out, nil
+	return res, nil
+}
+
+// RunPatterns is the diagnostics-only form of Run, kept for callers that
+// need neither facts nor timing (the analysistest harness).
+func RunPatterns(dir string, analyzers []*analysis.Analyzer, patterns ...string) ([]Diagnostic, error) {
+	res, err := Run(dir, analyzers, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diagnostics, nil
 }
 
 // vetConfig mirrors cmd/go's internal vetConfig (the vet.cfg JSON payload
@@ -115,10 +177,37 @@ type vetConfig struct {
 	GoFiles     []string
 	ImportMap   map[string]string
 	PackageFile map[string]string
+	PackageVetx map[string]string
 	VetxOnly    bool
 	VetxOutput  string
 
 	SucceedOnTypecheckFailure bool
+}
+
+// moduleName walks up from dir to the nearest go.mod and returns its
+// module path ("" when none is found). It distinguishes this module's
+// packages from GOROOT ones (module "std"/"cmd") in VetxOnly mode, where
+// re-type-checking the standard library from source for facts it cannot
+// carry would be pure waste.
+func moduleName(dir string) string {
+	for dir != "" {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return strings.Trim(strings.TrimSpace(rest), `"`)
+				}
+			}
+			return ""
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			break
+		}
+		dir = parent
+	}
+	return ""
 }
 
 // RunVetCfg implements the vet-tool side of the protocol for one vet.cfg
@@ -132,17 +221,42 @@ func RunVetCfg(cfgPath string, analyzers []*analysis.Analyzer) ([]Diagnostic, in
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return nil, 1, fmt.Errorf("parse %s: %v", cfgPath, err)
 	}
-	// This suite exports no facts, but cmd/go caches the vetx output
-	// file, so one must exist before any exit path.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			return nil, 1, err
+	// cmd/go caches the vetx output file, so one must exist on every
+	// exit path; start empty and overwrite with real facts on success.
+	writeVetx := func(store *facts.Store) error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		var payload []byte
+		if store != nil && store.Len() > 0 {
+			payload = store.Encode()
+		}
+		return os.WriteFile(cfg.VetxOutput, payload, 0o666)
+	}
+	if err := writeVetx(nil); err != nil {
+		return nil, 1, err
+	}
+	factual := false
+	for _, a := range analyzers {
+		if a.UsesFacts {
+			factual = true
 		}
 	}
-	if cfg.VetxOnly {
-		// Dependency-only invocation: facts would be computed here, and
-		// this suite has none.
+	if cfg.VetxOnly && (!factual || isToolchainModule(moduleName(cfg.Dir))) {
+		// Dependency-only invocation of a package that cannot carry our
+		// facts (or a suite that keeps none): the empty vetx stands.
 		return nil, 0, nil
+	}
+	store := facts.New()
+	for _, vetx := range sortedValues(cfg.PackageVetx) {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			// A missing dep vetx degrades to missing facts, not failure.
+			continue
+		}
+		if err := store.Decode(data); err != nil {
+			return nil, 1, err
+		}
 	}
 	fset := token.NewFileSet()
 	var files []*ast.File
@@ -175,8 +289,11 @@ func RunVetCfg(cfgPath string, analyzers []*analysis.Analyzer) ([]Diagnostic, in
 	// cmd/go vets both "pkg" and "pkg [pkg.test]"; report test-file
 	// findings only from the variant.
 	testOnly := strings.Contains(cfg.ID, " [") && !strings.HasSuffix(typesPkg.Name(), "_test")
-	ds, err := runPackage(pkg, analyzers, testOnly)
+	ds, err := runPackage(pkg, analyzers, store, testOnly, !cfg.VetxOnly, nil)
 	if err != nil {
+		return nil, 1, err
+	}
+	if err := writeVetx(store); err != nil {
 		return nil, 1, err
 	}
 	if len(ds) > 0 {
@@ -185,15 +302,55 @@ func RunVetCfg(cfgPath string, analyzers []*analysis.Analyzer) ([]Diagnostic, in
 	return nil, 0, nil
 }
 
+// isToolchainModule reports whether a module path names the Go toolchain
+// itself (GOROOT's std or cmd trees).
+func isToolchainModule(mod string) bool {
+	return mod == "std" || mod == "cmd"
+}
+
+// sortedValues returns m's values ordered by key, for deterministic
+// iteration over go list / vet.cfg string maps.
+func sortedValues(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Certify, when set by the driver, renders the certification artifact
+// for `tnpu-vet -certify <path>` from the facts a full run accumulated
+// (cmd/tnpu-vet points it at canoncover's harvest so this package stays
+// analyzer-agnostic).
+var Certify func(*facts.Store) ([]byte, error)
+
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Waiver   string `json:"waiver,omitempty"`
+}
+
+const usage = "usage: tnpu-vet [-json] [-v] [-only a1,a2] [-certify out.json] [packages] | tnpu-vet <vet.cfg>"
+
 // Main is the shared entry point of cmd/tnpu-vet: it dispatches between
 // the cmd/go handshakes (-flags, -V=full), vet.cfg mode, and the
 // standalone pattern mode. Protocol responses go to stdout (where cmd/go
-// reads them), diagnostics to stderr, and the return value is the
-// process exit code.
+// reads them), diagnostics to stderr (or stdout for -json), and the
+// return value is the process exit code.
 func Main(stdout, stderr io.Writer, args []string, analyzers []*analysis.Analyzer) int {
 	if len(args) == 1 && args[0] == "-flags" {
 		// `go vet -vettool` first asks the tool to describe its flags as
-		// a JSON array on stdout; this suite takes none.
+		// a JSON array on stdout; the vet-tool protocol side takes none
+		// (-json and friends are standalone-only).
 		fmt.Fprintln(stdout, "[]")
 		return 0
 	}
@@ -214,25 +371,126 @@ func Main(stdout, stderr io.Writer, args []string, analyzers []*analysis.Analyze
 		}
 		return code
 	}
-	patterns := args
+
+	var (
+		jsonOut  bool
+		verbose  bool
+		only     string
+		certify  string
+		patterns []string
+	)
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
+		flagVal := func(name string) (string, bool) {
+			if v, ok := strings.CutPrefix(arg, "-"+name+"="); ok {
+				return v, true
+			}
+			if arg == "-"+name && i+1 < len(args) {
+				i++
+				return args[i], true
+			}
+			return "", false
+		}
+		switch {
+		case arg == "-json":
+			jsonOut = true
+		case arg == "-v":
+			verbose = true
+		default:
+			if v, ok := flagVal("only"); ok {
+				only = v
+				break
+			}
+			if v, ok := flagVal("certify"); ok {
+				certify = v
+				break
+			}
+			if strings.HasPrefix(arg, "-") {
+				fmt.Fprintf(stderr, "tnpu-vet: unknown flag %s\n%s\n", arg, usage)
+				return 1
+			}
+			patterns = append(patterns, arg)
+		}
+	}
+	if only != "" {
+		var selected []*analysis.Analyzer
+		for _, name := range strings.Split(only, ",") {
+			found := false
+			for _, a := range analyzers {
+				if a.Name == name {
+					selected = append(selected, a)
+					found = true
+				}
+			}
+			if !found {
+				var known []string
+				for _, a := range analyzers {
+					known = append(known, a.Name)
+				}
+				fmt.Fprintf(stderr, "tnpu-vet: -only: unknown analyzer %q (have %s)\n", name, strings.Join(known, ", "))
+				return 1
+			}
+		}
+		analyzers = selected
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	for _, p := range patterns {
-		if strings.HasPrefix(p, "-") {
-			fmt.Fprintf(stderr, "tnpu-vet: unknown flag %s\nusage: tnpu-vet [packages] | tnpu-vet <vet.cfg>\n", p)
-			return 1
-		}
-	}
-	ds, err := RunPatterns("", analyzers, patterns...)
+	res, err := Run("", analyzers, patterns...)
 	if err != nil {
 		fmt.Fprintf(stderr, "tnpu-vet: %v\n", err)
 		return 1
 	}
-	for _, d := range ds {
-		fmt.Fprintf(stderr, "%s: %s: %s\n", d.Position, d.Analyzer, d.Message)
+	if verbose {
+		fmt.Fprintf(stderr, "tnpu-vet: load+typecheck %v\n", res.LoadTime.Round(time.Millisecond))
+		names := make([]string, 0, len(res.AnalyzerTime))
+		for name := range res.AnalyzerTime {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(stderr, "tnpu-vet: %-14s %v\n", name, res.AnalyzerTime[name].Round(time.Millisecond))
+		}
 	}
-	if len(ds) > 0 {
+	if certify != "" {
+		if Certify == nil {
+			fmt.Fprintf(stderr, "tnpu-vet: -certify is not supported by this driver\n")
+			return 1
+		}
+		data, err := Certify(res.Facts)
+		if err != nil {
+			fmt.Fprintf(stderr, "tnpu-vet: certify: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(certify, data, 0o666); err != nil {
+			fmt.Fprintf(stderr, "tnpu-vet: %v\n", err)
+			return 1
+		}
+	}
+	if jsonOut {
+		out := make([]jsonDiagnostic, 0, len(res.Diagnostics))
+		for _, d := range res.Diagnostics {
+			out = append(out, jsonDiagnostic{
+				File:     d.Position.Filename,
+				Line:     d.Position.Line,
+				Col:      d.Position.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Waiver:   d.Waiver,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "tnpu-vet: %v\n", err)
+			return 1
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Fprintf(stderr, "%s: %s: %s\n", d.Position, d.Analyzer, d.Message)
+		}
+	}
+	if len(res.Diagnostics) > 0 {
 		return 2
 	}
 	return 0

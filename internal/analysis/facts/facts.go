@@ -1,0 +1,150 @@
+// Package facts is the cross-package side channel of the analysis
+// framework: a store of named, JSON-serialized facts keyed by (package
+// path, object, fact name). Analyzers that need to see across package
+// boundaries — canoncover reading npu.Config's waiver markers from
+// internal/exp, purity trusting dram.Bus.Now from internal/memprot —
+// export facts while analyzing the declaring package and import them
+// while analyzing dependents, the same composition model as
+// golang.org/x/tools/go/analysis facts but without gob type registries:
+// payloads are plain JSON decoded into caller-supplied values.
+//
+// In standalone mode one Store is threaded through the whole run in
+// dependency order. In `go vet -vettool` mode the store round-trips
+// through the .vetx files cmd/go passes between per-package tool
+// invocations (vetConfig.PackageVetx in, VetxOutput out); each written
+// file carries the full transitive store so indirect dependencies'
+// facts survive the relay.
+package facts
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Store holds serialized facts. The zero value is not usable; call New.
+type Store struct {
+	m map[key]json.RawMessage
+}
+
+type key struct {
+	pkg  string // canonical import path of the declaring package
+	obj  string // "Func", "Type" or "Type.Method"; "" for package-level facts
+	fact string // fact name, conventionally "<analyzer>.<kind>"
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{m: make(map[key]json.RawMessage)}
+}
+
+// Export records a fact about obj in pkg, overwriting any previous value
+// under the same (pkg, obj, fact) key.
+func (s *Store) Export(pkg, obj, fact string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("facts: marshal %s %s.%s: %v", fact, pkg, obj, err)
+	}
+	s.m[key{pkg, obj, fact}] = data
+	return nil
+}
+
+// Import decodes the fact recorded for (pkg, obj, fact) into v and
+// reports whether one existed. A decode failure is treated as absence:
+// facts are advisory, and a shape mismatch between analyzer versions
+// must degrade to "unknown", not abort the run.
+func (s *Store) Import(pkg, obj, fact string, v any) bool {
+	data, ok := s.m[key{pkg, obj, fact}]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(data, v) == nil
+}
+
+// Has reports whether a fact exists without decoding it.
+func (s *Store) Has(pkg, obj, fact string) bool {
+	_, ok := s.m[key{pkg, obj, fact}]
+	return ok
+}
+
+// Objects returns the objects in pkg carrying the named fact, sorted.
+func (s *Store) Objects(pkg, fact string) []string {
+	var out []string
+	for k := range s.m { //tnpu:orderfree (sorted before return)
+		if k.pkg == pkg && k.fact == fact {
+			out = append(out, k.obj)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Packages returns every package path carrying the named fact, sorted.
+func (s *Store) Packages(fact string) []string {
+	seen := make(map[string]bool)
+	for k := range s.m { //tnpu:orderfree (sorted before return)
+		if k.fact == fact {
+			seen[k.pkg] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// entry is the wire form of one fact in an encoded store.
+type entry struct {
+	Pkg  string          `json:"pkg"`
+	Obj  string          `json:"obj,omitempty"`
+	Fact string          `json:"fact"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Encode serializes the whole store (sorted, so the output is
+// deterministic and cacheable byte-for-byte by cmd/go).
+func (s *Store) Encode() []byte {
+	entries := make([]entry, 0, len(s.m))
+	for k, v := range s.m { //tnpu:orderfree (sorted before marshal)
+		entries = append(entries, entry{Pkg: k.pkg, Obj: k.obj, Fact: k.fact, Data: v})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		return a.Fact < b.Fact
+	})
+	data, err := json.Marshal(entries)
+	if err != nil {
+		// Entries hold pre-marshaled RawMessages; re-marshaling cannot
+		// fail short of memory corruption.
+		panic(fmt.Sprintf("facts: encode: %v", err))
+	}
+	return data
+}
+
+// Decode merges an Encode output into the store. Empty input (the vetx
+// file of a facts-free package, or a file written by an older tool
+// version) merges nothing and is not an error.
+func (s *Store) Decode(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var entries []entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return fmt.Errorf("facts: decode: %v", err)
+	}
+	for _, e := range entries {
+		s.m[key{e.Pkg, e.Obj, e.Fact}] = e.Data
+	}
+	return nil
+}
+
+// Len returns the number of facts held.
+func (s *Store) Len() int { return len(s.m) }

@@ -1,0 +1,111 @@
+package facts
+
+import (
+	"bytes"
+	"testing"
+)
+
+type purityFact struct {
+	Pure   bool   `json:"pure"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	s := New()
+	if err := s.Export("tnpu/internal/dram", "Bus.Now", "purity.pure", purityFact{Pure: true}); err != nil {
+		t.Fatal(err)
+	}
+	var got purityFact
+	if !s.Import("tnpu/internal/dram", "Bus.Now", "purity.pure", &got) {
+		t.Fatal("fact not found after Export")
+	}
+	if !got.Pure {
+		t.Fatalf("got %+v, want Pure=true", got)
+	}
+	if s.Import("tnpu/internal/dram", "Bus.Latency", "purity.pure", &got) {
+		t.Fatal("Import returned true for an absent fact")
+	}
+	if !s.Has("tnpu/internal/dram", "Bus.Now", "purity.pure") {
+		t.Fatal("Has returned false for a present fact")
+	}
+}
+
+func TestObjectsAndPackagesSorted(t *testing.T) {
+	s := New()
+	for _, obj := range []string{"Zeta", "Alpha", "Mid"} {
+		if err := s.Export("p", obj, "f", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Export("q", "Other", "f", 2); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Objects("p", "f")
+	want := []string{"Alpha", "Mid", "Zeta"}
+	if len(got) != len(want) {
+		t.Fatalf("Objects = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Objects = %v, want %v", got, want)
+		}
+	}
+	pkgs := s.Packages("f")
+	if len(pkgs) != 2 || pkgs[0] != "p" || pkgs[1] != "q" {
+		t.Fatalf("Packages = %v, want [p q]", pkgs)
+	}
+}
+
+func TestEncodeDecodeMerge(t *testing.T) {
+	a := New()
+	if err := a.Export("p", "T", "shape", []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	b := New()
+	if err := b.Export("q", "U.M", "pure", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Decode(a.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("merged store has %d facts, want 2", b.Len())
+	}
+	var fields []string
+	if !b.Import("p", "T", "shape", &fields) || len(fields) != 2 {
+		t.Fatalf("merged fact missing or wrong: %v", fields)
+	}
+	// Decoding an empty payload (facts-free vetx file) is a no-op.
+	if err := b.Decode(nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("empty decode changed store to %d facts", b.Len())
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	build := func() *Store {
+		s := New()
+		for _, k := range []string{"c", "a", "b"} {
+			if err := s.Export("pkg"+k, "Obj"+k, "fact", k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	if !bytes.Equal(build().Encode(), build().Encode()) {
+		t.Fatal("Encode output is not deterministic across identical stores")
+	}
+}
+
+func TestImportShapeMismatchDegradesToAbsent(t *testing.T) {
+	s := New()
+	if err := s.Export("p", "T", "f", "a string"); err != nil {
+		t.Fatal(err)
+	}
+	var wrong struct{ N int }
+	if s.Import("p", "T", "f", &wrong) {
+		t.Fatal("Import succeeded decoding a string into a struct")
+	}
+}

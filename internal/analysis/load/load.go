@@ -6,6 +6,18 @@
 // is the engine behind both the standalone tnpu-vet driver and the
 // analysistest harness (x/tools' go/packages is not available to this
 // stdlib-only module).
+//
+// Standard-library dependencies contribute export data only. In-module
+// dependencies are parsed and type-checked from source even when they
+// are not roots, so fact-producing analyzers (canoncover, purity,
+// boundsound) can walk their ASTs and export cross-package facts; such
+// packages are returned with Root=false and contribute no diagnostics.
+//
+// One Load call serves every analyzer in a run: packages are listed,
+// parsed, and type-checked exactly once, and a process-wide parse cache
+// (keyed by path+mtime+size over a shared FileSet) additionally
+// deduplicates the re-parse of non-test sources that `go list -test`
+// triggers for each "pkg [pkg.test]" variant.
 package load
 
 import (
@@ -21,6 +33,8 @@ import (
 	"os"
 	"os/exec"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Package is one parsed and type-checked package ready for analysis.
@@ -38,6 +52,12 @@ type Package struct {
 	// ForTest is the import path of the package under test when this is
 	// a test variant ("a [a.test]" or "a_test [a.test]"), else "".
 	ForTest string
+
+	// Root reports whether the package matched the load patterns
+	// directly. Non-root packages are in-module dependencies loaded from
+	// source only so analyzers can compute facts over them; the checker
+	// suppresses their diagnostics.
+	Root bool
 }
 
 // listPackage mirrors the subset of `go list -json` output the loader
@@ -51,6 +71,7 @@ type listPackage struct {
 	CgoFiles   []string
 	ImportMap  map[string]string
 	DepOnly    bool
+	Standard   bool
 	ForTest    string
 	Incomplete bool
 	Error      *struct{ Err string }
@@ -67,9 +88,11 @@ type Config struct {
 	Env []string
 }
 
-// Load lists, parses, and type-checks the packages matching patterns.
-// Dependencies contribute export data only; every returned package has
-// full syntax and types.
+// Load lists, parses, and type-checks the packages matching patterns
+// plus their in-module dependency closure. `go list -deps` emits
+// dependencies before dependents, and Load preserves that order, so a
+// caller that walks the slice front to back sees every package after
+// all of its in-module imports — the property the facts store needs.
 func Load(cfg Config, patterns ...string) ([]*Package, error) {
 	args := []string{"list", "-e", "-deps", "-export", "-json"}
 	if cfg.Tests {
@@ -86,7 +109,7 @@ func Load(cfg Config, patterns ...string) ([]*Package, error) {
 		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
 	}
 
-	var roots []*listPackage
+	var listed []*listPackage
 	exports := make(map[string]string)
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
@@ -99,37 +122,70 @@ func Load(cfg Config, patterns ...string) ([]*Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if p.DepOnly || p.Name == "" {
+		if p.Name == "" {
 			continue
 		}
-		// Synthesized test mains ("pkg.test") carry no contracts of ours.
-		if strings.HasSuffix(p.ImportPath, ".test") {
+		// Standard-library deps are consumed as export data; synthesized
+		// test mains ("pkg.test") carry no contracts of ours.
+		if p.Standard || strings.HasSuffix(p.ImportPath, ".test") {
 			continue
 		}
+		listed = append(listed, p)
+	}
+
+	var pkgs []*Package
+	for _, p := range listed {
 		if p.Error != nil {
 			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
 		}
 		if len(p.CgoFiles) > 0 {
 			return nil, fmt.Errorf("load: %s uses cgo, which this loader does not support", p.ImportPath)
 		}
-		roots = append(roots, p)
-	}
-
-	var pkgs []*Package
-	for _, p := range roots {
 		pkg, err := check(p, exports)
 		if err != nil {
 			return nil, err
 		}
+		pkg.Root = !p.DepOnly
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
 }
 
+// Every Load shares one FileSet so cached ASTs stay position-valid
+// across calls; cache entries are invalidated by mtime+size so edited
+// files re-parse. Parse errors are cached too (the file will not parse
+// differently until it changes).
+var (
+	parseMu    sync.Mutex
+	sharedFset = token.NewFileSet()
+	parseCache = make(map[string]*parseEntry)
+)
+
+type parseEntry struct {
+	mtime time.Time
+	size  int64
+	file  *ast.File
+	err   error
+}
+
+func parseCached(path string) (*ast.File, error) {
+	fi, statErr := os.Stat(path)
+	parseMu.Lock()
+	defer parseMu.Unlock()
+	if e, ok := parseCache[path]; ok && statErr == nil &&
+		e.mtime.Equal(fi.ModTime()) && e.size == fi.Size() {
+		return e.file, e.err
+	}
+	file, err := parser.ParseFile(sharedFset, path, nil, parser.ParseComments)
+	if statErr == nil {
+		parseCache[path] = &parseEntry{mtime: fi.ModTime(), size: fi.Size(), file: file, err: err}
+	}
+	return file, err
+}
+
 // check parses and type-checks one listed package against the export
 // data of its dependency closure.
 func check(p *listPackage, exports map[string]string) (*Package, error) {
-	fset := token.NewFileSet()
 	var files []*ast.File
 	var names []string
 	for _, f := range p.GoFiles {
@@ -137,14 +193,14 @@ func check(p *listPackage, exports map[string]string) (*Package, error) {
 		if !strings.HasPrefix(path, "/") && p.Dir != "" {
 			path = p.Dir + "/" + f
 		}
-		parsed, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		parsed, err := parseCached(path)
 		if err != nil {
 			return nil, fmt.Errorf("parse %s: %v", path, err)
 		}
 		files = append(files, parsed)
 		names = append(names, path)
 	}
-	pkg, info, err := Check(p.ImportPath, fset, files, p.ImportMap, exports)
+	pkg, info, err := Check(p.ImportPath, sharedFset, files, p.ImportMap, exports)
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +208,7 @@ func check(p *listPackage, exports map[string]string) (*Package, error) {
 		ImportPath: p.ImportPath,
 		Dir:        p.Dir,
 		GoFiles:    names,
-		Fset:       fset,
+		Fset:       sharedFset,
 		Syntax:     files,
 		Types:      pkg,
 		TypesInfo:  info,

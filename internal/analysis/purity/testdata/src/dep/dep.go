@@ -1,0 +1,11 @@
+// Package dep provides callees for the cross-package purity fixtures:
+// Now exports a purity fact, Bump does not.
+package dep
+
+// Now returns a constant clock reading.
+//
+//tnpu:pure
+func Now() uint64 { return 42 }
+
+// Bump mutates through its parameter and carries no marker.
+func Bump(p *uint64) { *p++ }

@@ -1,0 +1,20 @@
+// Package memprot mirrors the contract package's base name: RunBounder
+// closed forms here must carry the //tnpu:pure marker.
+package memprot
+
+type engine struct{ n uint64 }
+
+// RunBoundBase lacks the mandatory marker.
+func (e *engine) RunBoundBase() uint64 { return e.n } // want "must carry //tnpu:pure"
+
+// RunBoundIncr carries it and verifies.
+//
+//tnpu:pure
+func (e *engine) RunBoundIncr(addr uint64, n int, write bool) (uint64, bool) {
+	return e.n + uint64(n), true
+}
+
+// RunBurstSafe carries it and verifies.
+//
+//tnpu:pure
+func (e *engine) RunBurstSafe(addr uint64, n int, write bool) bool { return e.n == 0 }

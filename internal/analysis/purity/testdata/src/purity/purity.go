@@ -1,0 +1,75 @@
+// Package purity exercises the //tnpu:pure proof: receiver reads are
+// fine, receiver and package-state writes are witnesses, impurity
+// propagates through same-package calls, scratch fields and pureok
+// sites are exempt, and cross-package calls resolve through facts.
+package purity
+
+import "testdata/dep"
+
+type engine struct {
+	n   uint64
+	buf []uint64 //tnpu:scratch reused probe buffer, contents dead between calls
+}
+
+// Add is pure arithmetic over the receiver.
+//
+//tnpu:pure
+func (e *engine) Add(x uint64) uint64 { return e.n + x }
+
+// Stamp stores through the receiver.
+//
+//tnpu:pure
+func (e *engine) Stamp(x uint64) uint64 {
+	e.n = x // want "annotated //tnpu:pure but stores through e.n"
+	return e.n
+}
+
+// bump is impure; Tick inherits the verdict interprocedurally.
+func (e *engine) bump() { e.n++ }
+
+// Tick calls an impure same-package helper.
+//
+//tnpu:pure
+func (e *engine) Tick() uint64 {
+	e.bump() // want "calls engine.bump, which is impure"
+	return e.n
+}
+
+// Probe fills the declared-scratch buffer; no witness.
+//
+//tnpu:pure
+func (e *engine) Probe(x uint64) uint64 {
+	e.buf = append(e.buf[:0], x)
+	return e.buf[0]
+}
+
+var clock uint64
+
+// Reset documents a deliberate exception at the witness site.
+//
+//tnpu:pure
+func Reset() uint64 {
+	clock = 0 //tnpu:pureok fixture-only reset, documented exception
+	return clock
+}
+
+// FromDep is pure through dep.Now's exported fact.
+//
+//tnpu:pure
+func FromDep() uint64 { return dep.Now() }
+
+// ViaDep calls a dependency function with no purity fact.
+//
+//tnpu:pure
+func ViaDep(p *uint64) {
+	dep.Bump(p) // want "calls Bump, whose purity is unknown"
+}
+
+// helper is verified pure by the fixpoint without a marker, so callers
+// may rely on it.
+func helper(x uint64) uint64 { return x * 3 }
+
+// Chained calls an unmarked but provably pure same-package helper.
+//
+//tnpu:pure
+func Chained(x uint64) uint64 { return helper(x) }

@@ -1,0 +1,17 @@
+package cache
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tnpu/internal/certcheck"
+)
+
+// TestCanonCertificateMatchesCache cross-checks the committed
+// canoncover certification artifact against the live Cache struct: new
+// fields must be serialized by AppendCanon/RestoreCanon or carry a
+// //tnpu:canonskip waiver, and the artifact must be regenerated.
+func TestCanonCertificateMatchesCache(t *testing.T) {
+	certs := certcheck.Load(t, filepath.Join("..", "..", "testdata", "canoncover.json"))
+	certcheck.FieldsMatch(t, certs, "tnpu/internal/cache.Cache", Cache{})
+}

@@ -1,0 +1,18 @@
+package dram
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tnpu/internal/certcheck"
+)
+
+// TestCanonCertificatesMatchDRAM cross-checks the committed canoncover
+// certification artifact against the live Bus and IssueWindow structs:
+// new fields must be serialized by the canonical-state channels or carry
+// a //tnpu:canonskip waiver, and the artifact must be regenerated.
+func TestCanonCertificatesMatchDRAM(t *testing.T) {
+	certs := certcheck.Load(t, filepath.Join("..", "..", "testdata", "canoncover.json"))
+	certcheck.FieldsMatch(t, certs, "tnpu/internal/dram.Bus", Bus{})
+	certcheck.FieldsMatch(t, certs, "tnpu/internal/dram.IssueWindow", IssueWindow{})
+}

@@ -67,7 +67,7 @@ type Bus struct {
 	latency uint64
 	// aggNum/aggDen is the aggregate (whole-interface) cycles-per-byte
 	// rational, before the bandwidth is split across channels.
-	aggNum, aggDen uint64
+	aggNum, aggDen uint64 //tnpu:canonskip derived from Config at construction, immutable
 	chans          []channel
 }
 
@@ -120,6 +120,8 @@ func (b *Bus) route(addr uint64) *channel {
 }
 
 // Latency returns the fixed DRAM access latency in cycles.
+//
+//tnpu:pure
 func (b *Bus) Latency() uint64 { return b.latency }
 
 // Transfer occupies the bus for bytes starting no earlier than ready, and
@@ -220,6 +222,8 @@ func (b *Bus) Read(ready, bytes uint64) (dataAt uint64) {
 }
 
 // Now returns the bus's latest channel horizon.
+//
+//tnpu:pure
 func (b *Bus) Now() uint64 {
 	var max uint64
 	for i := range b.chans {
@@ -275,7 +279,7 @@ func (b *Bus) CyclesForBytes(bytes uint64) uint64 {
 // to the same channel. ok=false when the multiplication would overflow;
 // callers treating this as a safety bound must then refuse the shortcut.
 //
-//tnpu:noalloc
+//tnpu:noalloc //tnpu:pure
 func (b *Bus) WorstChannelCycles(bytes uint64) (cycles uint64, ok bool) {
 	num, den := b.chans[0].num, b.chans[0].den
 	if num != 0 && bytes > (1<<62)/num {

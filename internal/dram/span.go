@@ -62,6 +62,7 @@ type spanRec struct {
 
 // BeginSpanRun validates the append invariant exactly as BeginRun and
 // primes sc for span-deferred charging. On false no state was touched.
+// It is the admission predicate of the streak fast paths. //tnpu:guard
 // The cursor's record FIFO is retained across runs, so a long-lived
 // engine-owned SpanCursor allocates only on first use (or a deeper
 // window).

@@ -28,6 +28,8 @@ const CodeVersion = "tnpu-sim-7"
 // hardware configuration that a simulation result depends on. Every
 // npu.Config field is rendered explicitly: two configs digest equal iff
 // the simulator would treat them identically.
+//
+//tnpu:digestcover npu.Config
 func ConfigDigest(cfg npu.Config) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "array=%dx%d|flow=%d|spm=%d|freq=%d|bw=%d|lat=%d|ch=%d|tlb=%d|walk=%d",

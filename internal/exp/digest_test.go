@@ -1,37 +1,26 @@
 package exp
 
 import (
-	"reflect"
+	"path/filepath"
 	"testing"
 
+	"tnpu/internal/certcheck"
 	"tnpu/internal/memprot"
 	"tnpu/internal/npu"
 )
 
-// countLeafFields walks a struct type and counts its scalar leaves — the
-// knobs a hardware configuration is made of.
-func countLeafFields(t reflect.Type) int {
-	if t.Kind() != reflect.Struct {
-		return 1
-	}
-	n := 0
-	for i := 0; i < t.NumField(); i++ {
-		n += countLeafFields(t.Field(i).Type)
-	}
-	return n
-}
-
-// TestConfigDigestCoversAllFields pins the shape of npu.Config: the
-// digest renders fields explicitly, so adding a configuration knob must
-// come with a ConfigDigest update — this failure is the reminder.
+// TestConfigDigestCoversAllFields cross-checks the canoncover digest
+// certificate against the live shape of npu.Config: tnpu-vet's
+// digest-coverage proof (the digestcover marker on ConfigDigest)
+// certifies the exact leaf paths the digest renders
+// (testdata/canoncover.json), and this test reflects over npu.Config to
+// confirm those paths — plus the canonskip-waived Name label — are
+// still every leaf the struct has. Adding a configuration knob without
+// updating ConfigDigest fails tnpu-vet; adding one without
+// regenerating the artifact fails here.
 func TestConfigDigestCoversAllFields(t *testing.T) {
-	// Name, Array{Rows,Cols,Flow}, SPM{CapacityBytes}, Mem{FreqHz,
-	// Bandwidth, Latency, Channels}, TLBEntries, TLBWalkCycles = 11
-	// leaves. Name is a display label with no simulation effect and is
-	// deliberately excluded from the digest; the other 10 are rendered.
-	if got := countLeafFields(reflect.TypeOf(npu.Config{})); got != 11 {
-		t.Fatalf("npu.Config has %d leaf fields (expected 11): update exp.ConfigDigest to cover the new field, then this count", got)
-	}
+	certs := certcheck.Load(t, filepath.Join("..", "..", "testdata", "canoncover.json"))
+	certcheck.LeafPathsMatch(t, certs, "tnpu/internal/npu.Config", npu.Config{})
 }
 
 // TestConfigDigestSensitivity checks every simulated field perturbs the

@@ -15,7 +15,7 @@ import (
 // performance bottleneck the paper measures in Fig. 4/5.
 type baseline struct {
 	cfg     Config
-	geo     integrity.Geometry
+	geo     integrity.Geometry //tnpu:canonskip derived from cfg at construction, immutable
 	counter *cache.Cache
 	hash    *cache.Cache
 	mac     *cache.Cache
@@ -41,16 +41,16 @@ type baseline struct {
 	// the current layer for O(touched) post-state deltas. All three are
 	// maintained only once BeginLayer arms memoOn, so un-memoized runs pay
 	// a predicted-not-taken branch per counter-line touch and nothing more.
-	memoOn    bool
+	memoOn    bool //tnpu:canonskip memo-harness arming flag, managed by BeginLayer outside replay
 	minorsDig [2]uint64
-	touched   map[uint64]struct{}
-	touchedLi []uint64
+	touched   map[uint64]struct{} //tnpu:canonskip per-layer journal index, reset by BeginLayer
+	touchedLi []uint64            //tnpu:canonskip per-layer journal consumed by AppendDelta, reset by BeginLayer
 
 	// cur is the streak charge cursor and sweep the MAC-line range
 	// resolver (see streak.go), engine-owned so the batched hot path
 	// allocates nothing.
-	cur   dram.SpanCursor
-	sweep cache.Sweep
+	cur   dram.SpanCursor //tnpu:canonskip per-call scratch cursor, no state across calls
+	sweep cache.Sweep     //tnpu:canonskip per-call scratch resolver, no state across calls
 }
 
 func newBaseline(cfg Config) *baseline {

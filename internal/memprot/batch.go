@@ -74,7 +74,8 @@ func macRunLen(addr, slotBytes uint64) int {
 // line: the boundary block runs the full hit/miss path; the remaining
 // count-1 per-block accesses would be guaranteed hits on the just-touched
 // line (nothing else touches the MAC cache in between), so they are
-// charged through cache.AccessRun without re-walking the model.
+// charged through cache.AccessRun without re-walking the model. This is
+// the per-block reference of the treeless fallback loop. //tnpu:reference
 func macAccessRun(c *cache.Cache, cfg *Config, traffic *stats.Traffic, ready, addr, count uint64, write, writeValidate bool) uint64 {
 	at := macAccess(c, cfg, traffic, ready, addr, write, writeValidate)
 	if count > 1 {
@@ -99,6 +100,8 @@ func (b *baseline) counterAccessRun(ready, addr, count uint64, write bool) uint6
 // baseline's counter cache: a next-line prefetch into a single-line cache
 // evicts the demand line itself, breaking the "covered blocks hit" chunk
 // invariant. Every realistic configuration is safe.
+//
+//tnpu:pure
 func (b *baseline) batchSafe() bool {
 	return !b.cfg.CounterPrefetch || b.cfg.CounterCacheBytes > dram.BlockBytes
 }
@@ -106,6 +109,7 @@ func (b *baseline) batchSafe() bool {
 // --- unsecure / encrypt-only: pure bandwidth arithmetic ---
 
 // ReadRun serves a read run as one bus stream. //tnpu:noalloc
+// //tnpu:exactform one StreamRun is the model itself, not an approximation of a per-block loop
 func (u *unsecure) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
 	u.traffic.AddRead(stats.Data, uint64(n)*dram.BlockBytes)
 	next, maxFree, _ := u.cfg.Bus.StreamRun(ready, addr, n, w)
@@ -113,6 +117,7 @@ func (u *unsecure) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWind
 }
 
 // WriteRun serves a write run as one bus stream. //tnpu:noalloc
+// //tnpu:exactform one StreamRun is the model itself, not an approximation of a per-block loop
 func (u *unsecure) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
 	u.traffic.AddWrite(stats.Data, uint64(n)*dram.BlockBytes)
 	next, maxFree, _ := u.cfg.Bus.StreamRun(ready, addr, n, w)
@@ -120,6 +125,7 @@ func (u *unsecure) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWin
 }
 
 // ReadRun streams the run and tacks the XTS pipe onto arrival. //tnpu:noalloc
+// //tnpu:exactform stream plus fixed XTS latency is the model itself, exact for every run
 func (e *encryptOnly) ReadRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
 	e.traffic.AddRead(stats.Data, uint64(n)*dram.BlockBytes)
 	next, maxFree, _ := e.cfg.Bus.StreamRun(ready, addr, n, w)
@@ -127,6 +133,7 @@ func (e *encryptOnly) ReadRun(ready, addr, version uint64, n int, w *dram.IssueW
 }
 
 // WriteRun streams the run; encryption overlaps issue. //tnpu:noalloc
+// //tnpu:exactform stream with overlapped encryption is the model itself, exact for every run
 func (e *encryptOnly) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
 	e.traffic.AddWrite(stats.Data, uint64(n)*dram.BlockBytes)
 	next, maxFree, _ := e.cfg.Bus.StreamRun(ready, addr, n, w)
@@ -703,6 +710,8 @@ func (b *baseline) WriteRun(ready, addr, version uint64, n int, w *dram.IssueWin
 // overflowPending reports whether writing blocks [addr, addr+n*64) would
 // wrap any 7-bit minor counter (pre-increment value 127): each block in a
 // run bumps a distinct slot, so a scan of the covered slots decides it.
+//
+//tnpu:pure
 func (b *baseline) overflowPending(addr uint64, n int) bool {
 	blockIdx := addr / dram.BlockBytes
 	for i := 0; i < n; {

@@ -57,7 +57,7 @@ type RunBounder interface {
 // flatRunBound covers the counter-less engines (unsecure, encrypt-only):
 // n data transfers, no metadata, no latency chains.
 //
-//tnpu:noalloc
+//tnpu:noalloc //tnpu:pure
 func flatRunBound(bus *dram.Bus, n int) (uint64, bool) {
 	un := uint64(n)
 	wcc, ok := bus.WorstChannelCycles(un * dram.BlockBytes)
@@ -68,24 +68,29 @@ func flatRunBound(bus *dram.Bus, n int) (uint64, bool) {
 	return wcc + 2*un, true
 }
 
+//tnpu:pure
 func (u *unsecure) RunBoundBase() uint64 { return u.cfg.Bus.Now() }
 
-//tnpu:noalloc
+//tnpu:noalloc //tnpu:pure
 func (u *unsecure) RunBoundIncr(addr uint64, n int, write bool) (uint64, bool) {
 	return flatRunBound(u.cfg.Bus, n)
 }
 
+//tnpu:pure
 func (u *unsecure) RunBurstSafe(addr uint64, n int, write bool) bool { return true }
 
+//tnpu:pure
 func (e *encryptOnly) RunBoundBase() uint64 { return e.cfg.Bus.Now() }
 
-//tnpu:noalloc
+//tnpu:noalloc //tnpu:pure
 func (e *encryptOnly) RunBoundIncr(addr uint64, n int, write bool) (uint64, bool) {
 	return flatRunBound(e.cfg.Bus, n)
 }
 
+//tnpu:pure
 func (e *encryptOnly) RunBurstSafe(addr uint64, n int, write bool) bool { return true }
 
+//tnpu:pure
 func (t *treeless) RunBoundBase() uint64 { return t.cfg.Bus.Now() }
 
 // RunBoundIncr: n data transfers plus at most two transfers per covered
@@ -93,7 +98,7 @@ func (t *treeless) RunBoundBase() uint64 { return t.cfg.Bus.Now() }
 // presented at the issue-cursor time — the MAC fetch's DRAM latency feeds
 // only dataAt — so no latency-chain term appears.
 //
-//tnpu:noalloc
+//tnpu:noalloc //tnpu:pure
 func (t *treeless) RunBoundIncr(addr uint64, n int, write bool) (uint64, bool) {
 	transfers := uint64(n) + 2*uint64(macLineCount(addr, t.cfg.MACSlotBytes, n))
 	wcc, ok := t.cfg.Bus.WorstChannelCycles(transfers * dram.BlockBytes)
@@ -103,13 +108,14 @@ func (t *treeless) RunBoundIncr(addr uint64, n int, write bool) (uint64, bool) {
 	return wcc + transfers + uint64(n), true
 }
 
+//tnpu:pure
 func (t *treeless) RunBurstSafe(addr uint64, n int, write bool) bool { return true }
 
 // RunBoundBase folds in the walk MSHRs: a counter miss early in the run
 // can queue behind a walk still in flight from before the horizon was
 // computed.
 //
-//tnpu:noalloc
+//tnpu:noalloc //tnpu:pure
 func (b *baseline) RunBoundBase() uint64 {
 	base := b.cfg.Bus.Now()
 	for _, f := range b.walkFree {
@@ -136,7 +142,7 @@ func (b *baseline) RunBoundBase() uint64 {
 // Minor-counter overflow re-encryption bursts are NOT modeled here;
 // RunBurstSafe rejects write runs with a pending overflow instead.
 //
-//tnpu:noalloc
+//tnpu:noalloc //tnpu:pure
 func (b *baseline) RunBoundIncr(addr uint64, n int, write bool) (uint64, bool) {
 	firstLine, _ := b.geo.CounterIndex(addr / dram.BlockBytes)
 	lastLine, _ := b.geo.CounterIndex(addr/dram.BlockBytes + uint64(n) - 1)
@@ -158,6 +164,8 @@ func (b *baseline) RunBoundIncr(addr uint64, n int, write bool) (uint64, bool) {
 // the re-encryption burst (Arity x 2 blocks) is far outside RunBoundIncr's
 // increment model. The overflowPending scan is O(covered counter lines),
 // which is why it runs only after the arithmetic bound has already passed.
+//
+//tnpu:pure
 func (b *baseline) RunBurstSafe(addr uint64, n int, write bool) bool {
 	return !write || !b.overflowPending(addr, n)
 }

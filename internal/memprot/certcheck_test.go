@@ -1,0 +1,23 @@
+package memprot
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tnpu/internal/certcheck"
+)
+
+// TestCanonCertificatesMatchEngines cross-checks the committed
+// canoncover certification artifact against the live engine structs:
+// every field must appear in the certificate as covered (serialized by
+// the Append*/Restore* channels, statically proven by tnpu-vet) or
+// waived (//tnpu:canonskip). Adding a field to an engine without
+// updating its canonical-state methods and regenerating the artifact
+// fails here at runtime and in tnpu-vet statically.
+func TestCanonCertificatesMatchEngines(t *testing.T) {
+	certs := certcheck.Load(t, filepath.Join("..", "..", "testdata", "canoncover.json"))
+	certcheck.FieldsMatch(t, certs, "tnpu/internal/memprot.unsecure", unsecure{})
+	certcheck.FieldsMatch(t, certs, "tnpu/internal/memprot.encryptOnly", encryptOnly{})
+	certcheck.FieldsMatch(t, certs, "tnpu/internal/memprot.treeless", treeless{})
+	certcheck.FieldsMatch(t, certs, "tnpu/internal/memprot.baseline", baseline{})
+}

@@ -31,7 +31,8 @@ const streakMinBlocks = 24
 // Consecutive covered MAC lines are 64B-adjacent for every slot size, so
 // the count plus the first line address describe the whole streak. Block i
 // maps to line (blockIdx+i)*slotBytes/64, a non-decreasing step function,
-// so the count is the index gap between the run's last and first blocks. //tnpu:noalloc
+// so the count is the index gap between the run's last and first blocks.
+// //tnpu:noalloc //tnpu:pure
 func macLineCount(addr, slotBytes uint64, n int) int {
 	blockIdx := addr / dram.BlockBytes
 	first := blockIdx * slotBytes / dram.BlockBytes
@@ -46,7 +47,8 @@ func macLineCount(addr, slotBytes uint64, n int) int {
 // cache sweep when the range is uniformly resident or absent — a hot sweep
 // collapses the whole run to one span charge, a cold sweep walks the
 // capacity prefix per line and collapses the steady-state tail to one
-// periodic charge — with the exact sequential walk as the mixed fallback. //tnpu:noalloc
+// periodic charge — with the exact sequential walk as the mixed fallback.
+// //tnpu:noalloc //tnpu:fastpath
 func (t *treeless) readStreak(ready, addr uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
 	cur := &t.cur
 	lat := t.cfg.Bus.Latency()
@@ -184,7 +186,8 @@ func (t *treeless) readStreak(ready, addr uint64, n int, w *dram.IssueWindow) (n
 
 // writeStreak is the treeless WriteRun fast path: MAC updates are
 // write-validated (no fetch), so the only metadata charges are dirty MAC
-// writebacks, each preceding its line's boundary data block. //tnpu:noalloc
+// writebacks, each preceding its line's boundary data block.
+// //tnpu:noalloc //tnpu:fastpath
 func (t *treeless) writeStreak(ready, addr uint64, n int, w *dram.IssueWindow) (nextReady, maxDataAt uint64) {
 	cur := &t.cur
 	slot := t.cfg.MACSlotBytes

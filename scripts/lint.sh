@@ -6,11 +6,40 @@
 # tree builds offline with no module dependencies.
 #
 # Usage:
-#   scripts/lint.sh
+#   scripts/lint.sh                     # everything
+#   scripts/lint.sh --only <analyzer>   # one tnpu-vet analyzer (e.g.
+#                                       # --only canoncover), skipping
+#                                       # the other linters — the fast
+#                                       # loop while fixing one class of
+#                                       # finding
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+only=""
+if [ "${1:-}" = "--only" ]; then
+  if [ $# -lt 2 ]; then
+    echo "usage: scripts/lint.sh [--only <analyzer>]" >&2
+    exit 1
+  fi
+  only="$2"
+fi
+
 status=0
+
+bin="$(mktemp -d)/tnpu-vet"
+trap 'rm -rf "$(dirname "$bin")"' EXIT
+go build -o "$bin" ./cmd/tnpu-vet
+
+if [ -n "$only" ]; then
+  echo "== tnpu-vet -only $only"
+  "$bin" -only "$only" ./... || status=1
+  if [ "$status" -ne 0 ]; then
+    echo "lint: FAIL" >&2
+  else
+    echo "lint: ok"
+  fi
+  exit $status
+fi
 
 echo "== gofmt"
 out="$(gofmt -l .)"
@@ -24,13 +53,21 @@ echo "== go vet"
 go vet ./... || status=1
 
 echo "== tnpu-vet (invariant suite)"
-bin="$(mktemp -d)/tnpu-vet"
-trap 'rm -rf "$(dirname "$bin")"' EXIT
-go build -o "$bin" ./cmd/tnpu-vet
 # Run it both ways: standalone over every package, and through cmd/go's
 # -vettool plumbing so the vet.cfg protocol path stays exercised.
 "$bin" ./... || status=1
 go vet -vettool="$bin" ./... || status=1
+
+echo "== tnpu-vet -certify (artifact freshness)"
+# The committed certification artifact backs the runtime reflection
+# cross-checks (internal/certcheck); regenerate and diff so it cannot
+# drift from the analyzed tree.
+fresh="$(dirname "$bin")/canoncover.json"
+"$bin" -only canoncover -certify "$fresh" ./... >/dev/null || status=1
+if ! diff -u testdata/canoncover.json "$fresh"; then
+  echo "testdata/canoncover.json is stale: run 'go run ./cmd/tnpu-vet -certify testdata/canoncover.json ./...' and commit it" >&2
+  status=1
+fi
 
 if command -v staticcheck >/dev/null 2>&1; then
   echo "== staticcheck"
